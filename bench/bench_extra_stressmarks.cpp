@@ -1,0 +1,37 @@
+// Beyond the paper's Figure 8: the remaining DIS Stressmarks (Matrix,
+// Corner Turn) and two more DIS application kernels (FFT, Image
+// Understanding), run through the same four configurations.  Matrix is an
+// FP gather kernel (decoupling + prefetching both apply); Corner Turn is
+// pure integer (all access-side, like Transitive Closure); FFT mixes a
+// data-shuffle phase with FP butterflies; Image behaves like Neighborhood
+// (per-pixel FP store round trips: loss-of-decoupling).
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace hidisc;
+  printf("=== Extra DIS workloads: Matrix, Corner Turn, FFT, Image ===\n\n");
+
+  stats::Table table({"Benchmark", "Superscalar", "CP+AP", "CP+CMP",
+                      "HiDISC", "base cycles", "base L1 miss rate"});
+  for (const auto& w : workloads::extra_suite()) {
+    const auto p = bench::prepare(w);
+    const auto base = bench::run_preset(p, machine::Preset::Superscalar);
+    const auto rel = [&base](const machine::Result& r) {
+      return static_cast<double>(base.cycles) /
+             static_cast<double>(r.cycles);
+    };
+    table.add_row(
+        {w.name, "1.000",
+         stats::Table::num(rel(bench::run_preset(p, machine::Preset::CPAP))),
+         stats::Table::num(
+             rel(bench::run_preset(p, machine::Preset::CPCMP))),
+         stats::Table::num(
+             rel(bench::run_preset(p, machine::Preset::HiDISC))),
+         std::to_string(base.cycles),
+         stats::Table::num(base.l1_demand_miss_rate())});
+  }
+  printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 9 reproduction: L1-D demand miss count of each configuration,
+// normalized to the baseline superscalar (the paper plots "reduction of
+// cache miss rate compared to the baseline").
+//
+// Paper reference points: the CMP-equipped configurations cut misses
+// substantially (best: Transitive Closure, -26.7%); the suite average
+// reduction for HiDISC is ~17%.
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace hidisc;
+  printf("=== Figure 9: L1 demand misses normalized to superscalar ===\n\n");
+
+  stats::Table table({"Benchmark", "Superscalar", "CP+AP", "CP+CMP",
+                      "HiDISC", "base miss rate"});
+  double sum_hidisc = 0.0;
+  int count = 0;
+  for (const auto& w : workloads::paper_suite()) {
+    const auto p = bench::prepare(w);
+    const auto base = bench::run_preset(p, machine::Preset::Superscalar);
+    const auto cpap = bench::run_preset(p, machine::Preset::CPAP);
+    const auto cpcmp = bench::run_preset(p, machine::Preset::CPCMP);
+    const auto hidisc = bench::run_preset(p, machine::Preset::HiDISC);
+    const auto rel = [&base](const machine::Result& r) {
+      return base.l1.demand_misses() == 0
+                 ? 1.0
+                 : static_cast<double>(r.l1.demand_misses()) /
+                       static_cast<double>(base.l1.demand_misses());
+    };
+    table.add_row({w.name, "1.000", stats::Table::num(rel(cpap)),
+                   stats::Table::num(rel(cpcmp)),
+                   stats::Table::num(rel(hidisc)),
+                   stats::Table::num(base.l1.demand_miss_rate())});
+    sum_hidisc += rel(hidisc);
+    ++count;
+  }
+  table.add_row({"MEAN", "1.000", "-", "-",
+                 stats::Table::num(sum_hidisc / count), "-"});
+  printf("%s\n", table.to_string().c_str());
+  printf("Paper: HiDISC eliminates ~17%% of cache misses on average; the "
+         "largest reduction is on Transitive Closure (-26.7%%).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Each bench binary regenerates one table or figure of the paper
+// (DESIGN.md §4 maps experiment ids to binaries).  The harness compiles a
+// workload once, traces both binaries, and runs any machine preset against
+// the right binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "machine/machine.hpp"
+#include "sim/functional.hpp"
+#include "stats/table.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::bench {
+
+struct PreparedWorkload {
+  std::string name;
+  compiler::Compilation comp;
+  sim::Trace orig_trace;
+  sim::Trace sep_trace;
+};
+
+inline PreparedWorkload prepare(const workloads::BuiltWorkload& w,
+                                const compiler::CompileOptions& opt = {}) {
+  PreparedWorkload p{w.name, compiler::compile(w.program, opt), {}, {}};
+  sim::Functional fo(p.comp.original);
+  p.orig_trace = fo.run_trace();
+  sim::Functional fs(p.comp.separated);
+  p.sep_trace = fs.run_trace();
+  return p;
+}
+
+inline machine::Result run_preset(const PreparedWorkload& p,
+                                  machine::Preset preset,
+                                  const machine::MachineConfig& cfg = {}) {
+  const bool sep = machine::uses_separated_binary(preset);
+  return machine::run_machine(sep ? p.comp.separated : p.comp.original,
+                              sep ? p.sep_trace : p.orig_trace, preset, cfg);
+}
+
+inline const std::vector<machine::Preset>& all_presets() {
+  static const std::vector<machine::Preset> presets = {
+      machine::Preset::Superscalar, machine::Preset::CPAP,
+      machine::Preset::CPCMP, machine::Preset::HiDISC};
+  return presets;
+}
+
+}  // namespace hidisc::bench

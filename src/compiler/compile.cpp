@@ -1,0 +1,44 @@
+#include "compiler/compile.hpp"
+
+#include <stdexcept>
+
+#include "compiler/verify.hpp"
+
+namespace hidisc::compiler {
+
+Compilation compile(const isa::Program& prog, const CompileOptions& opt) {
+  Compilation out;
+  out.original = prog;
+
+  // 1. Profiling run (functional; also validates that the program halts).
+  sim::Functional func(out.original);
+  const sim::Trace trace = func.run_trace(opt.max_steps);
+  out.profile = profile_cache(out.original, trace, opt.profile_mem);
+
+  // 2. CMAS extraction annotates the original binary in place.
+  if (opt.enable_cmas)
+    out.groups = extract_cmas(out.original, out.profile, trace, opt.cmas);
+
+  // 3. Stream separation of the (now annotated) binary, with the dynamic
+  // profile guiding communication-site placement.
+  SeparationResult sep =
+      separate_streams(out.original, &trace, opt.flow_sensitive_comm);
+  out.separated = std::move(sep.separated);
+  out.ldq_partner = std::move(sep.ldq_partner);
+  out.sdq_partner = std::move(sep.sdq_partner);
+  out.access_count = sep.access_count;
+  out.compute_count = sep.compute_count;
+  out.inserted_pops = sep.inserted_pops;
+  out.pruned_transfers = sep.pruned_transfers;
+
+  // 4. Self-check: the separated binary must satisfy every structural
+  // invariant the machines rely on (compiler bug = hard error here, not a
+  // mysterious timing deadlock later).
+  const auto v = verify_separation(out.separated);
+  if (!v.ok())
+    throw std::logic_error("compiler produced an invalid separation: " +
+                           v.violations.front());
+  return out;
+}
+
+}  // namespace hidisc::compiler

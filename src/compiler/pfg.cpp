@@ -1,0 +1,107 @@
+#include "compiler/pfg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hidisc::compiler {
+
+using isa::OpClass;
+using isa::Opcode;
+
+DefUse ProgramFlowGraph::extract_def_use(const isa::Instruction& inst) {
+  DefUse du;
+  const auto& info = inst.info();
+  if (info.writes_dst && inst.dst.valid() &&
+      !(inst.dst.is_int() && inst.dst.idx == 0))
+    du.def = inst.dst.flat();
+  int n = 0;
+  if (info.reads_src1 && inst.src1.valid() &&
+      !(inst.src1.is_int() && inst.src1.idx == 0))
+    du.use[n++] = inst.src1.flat();
+  if (info.reads_src2 && inst.src2.valid() &&
+      !(inst.src2.is_int() && inst.src2.idx == 0)) {
+    du.use[n] = inst.src2.flat();
+    du.use2_is_store_data = isa::is_store(inst.op);
+  }
+  return du;
+}
+
+ProgramFlowGraph::ProgramFlowGraph(const isa::Program& prog) {
+  const auto n = static_cast<std::int32_t>(prog.code.size());
+  if (n == 0) throw std::invalid_argument("PFG of empty program");
+
+  def_use_.reserve(n);
+  for (const auto& inst : prog.code) {
+    if (inst.target >= n || (inst.target < 0 && isa::is_branch(inst.op)))
+      throw std::invalid_argument("PFG: control target out of range");
+    def_use_.push_back(extract_def_use(inst));
+  }
+
+  // Leaders: entry, every control target, every instruction after a
+  // control transfer.
+  std::set<std::int32_t> leaders{0};
+  if (prog.entry >= 0 && prog.entry < n) leaders.insert(prog.entry);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto& inst = prog.code[i];
+    if (inst.target >= 0 && isa::is_control(inst.op))
+      leaders.insert(inst.target);
+    if (isa::is_control(inst.op) || inst.op == Opcode::HALT)
+      if (i + 1 < n) leaders.insert(i + 1);
+  }
+
+  inst_block_.assign(n, -1);
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    const std::int32_t first = *it;
+    const auto next_it = std::next(it);
+    const std::int32_t last = (next_it == leaders.end() ? n : *next_it) - 1;
+    const auto id = static_cast<std::int32_t>(blocks_.size());
+    blocks_.push_back(BasicBlock{first, last, {}, {}});
+    for (std::int32_t i = first; i <= last; ++i) inst_block_[i] = id;
+  }
+
+  // Edges.
+  for (auto& bb : blocks_) {
+    const auto& term = prog.code[bb.last];
+    const auto add = [&](std::int32_t target_idx) {
+      if (target_idx < 0 || target_idx >= n) return;
+      bb.succs.push_back(inst_block_[target_idx]);
+    };
+    switch (term.info().cls) {
+      case OpClass::Branch:
+        add(term.target);
+        add(bb.last + 1);
+        break;
+      case OpClass::Jump:
+        if (term.op == Opcode::J) {
+          add(term.target);
+        } else if (term.op == Opcode::JAL) {
+          add(term.target);
+        } else {
+          // jr/jalr: indirect; conservatively link to every block that is
+          // a plausible return point (successor of a jal).  For the kernel
+          // programs in this repository, fall-through is recorded too.
+          for (std::int32_t i = 0; i < n; ++i)
+            if (prog.code[i].op == Opcode::JAL) add(i + 1);
+        }
+        break;
+      case OpClass::Halt:
+        break;
+      case OpClass::Queue:
+        if (term.op == Opcode::BEOD) add(term.target);
+        add(bb.last + 1);
+        break;
+      default:
+        add(bb.last + 1);
+        break;
+    }
+    std::sort(bb.succs.begin(), bb.succs.end());
+    bb.succs.erase(std::unique(bb.succs.begin(), bb.succs.end()),
+                   bb.succs.end());
+  }
+  for (std::size_t b = 0; b < blocks_.size(); ++b)
+    for (const auto s : blocks_[b].succs)
+      blocks_[s].preds.push_back(static_cast<std::int32_t>(b));
+}
+
+}  // namespace hidisc::compiler

@@ -1,0 +1,59 @@
+// Program Flow Graph (paper §4.2, step 1: "Deriving the Program Flow
+// Graph").
+//
+// Splits a HISA program into basic blocks with successor/predecessor edges
+// and per-instruction def/use summaries.  The stream separator uses the
+// def/use sets; tests use the graph to validate structural properties of
+// assembled and compiler-rewritten programs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace hidisc::compiler {
+
+struct DefUse {
+  // Flat register indices (isa::Reg::flat).  dst < 0 when nothing written.
+  int def = -1;
+  int use[2] = {-1, -1};
+  bool use2_is_store_data = false;  // src2 is a store's data operand
+};
+
+struct BasicBlock {
+  std::int32_t first = 0;  // inclusive instruction index
+  std::int32_t last = 0;   // inclusive
+  std::vector<std::int32_t> succs;  // successor block ids
+  std::vector<std::int32_t> preds;
+};
+
+class ProgramFlowGraph {
+ public:
+  explicit ProgramFlowGraph(const isa::Program& prog);
+
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  // Block id containing instruction `idx`.
+  [[nodiscard]] std::int32_t block_of(std::int32_t idx) const {
+    return inst_block_[idx];
+  }
+  [[nodiscard]] const DefUse& def_use(std::int32_t idx) const {
+    return def_use_[idx];
+  }
+  [[nodiscard]] std::size_t num_instructions() const noexcept {
+    return def_use_.size();
+  }
+
+  // Static def/use extraction for a single instruction (also used directly
+  // by the slicer).
+  [[nodiscard]] static DefUse extract_def_use(const isa::Instruction& inst);
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::int32_t> inst_block_;
+  std::vector<DefUse> def_use_;
+};
+
+}  // namespace hidisc::compiler

@@ -1,0 +1,72 @@
+#include "compiler/profiler.hpp"
+
+#include <algorithm>
+
+namespace hidisc::compiler {
+
+std::vector<std::int32_t> CacheProfile::probable_miss_instructions(
+    double min_miss_rate, std::uint64_t min_misses) const {
+  std::vector<std::int32_t> out;
+  for (std::size_t i = 0; i < per_instr.size(); ++i) {
+    const auto& p = per_instr[i];
+    if (p.l1_misses >= min_misses && p.miss_rate() >= min_miss_rate)
+      out.push_back(static_cast<std::int32_t>(i));
+  }
+  return out;
+}
+
+CacheProfile profile_cache(const isa::Program& prog, const sim::Trace& trace,
+                           const mem::MemConfig& mem_cfg) {
+  CacheProfile profile;
+  profile.per_instr.resize(prog.code.size());
+  profile.dynamic_instructions = trace.size();
+
+  mem::MemorySystem memsys(mem_cfg);
+  std::uint64_t cycle = 0;  // profiling uses instruction count as time
+  for (const auto& e : trace) {
+    ++cycle;
+    auto& p = profile.per_instr[e.static_idx];
+    ++p.executions;
+    const auto& inst = prog.code[e.static_idx];
+    if (!isa::is_mem(inst.op) || inst.op == isa::Opcode::PREF) continue;
+    ++p.mem_accesses;
+    const auto type = isa::is_store(inst.op) ? mem::AccessType::Write
+                                             : mem::AccessType::Read;
+    const auto res = memsys.access(e.addr, type, cycle, e.static_idx);
+    if (!res.l1_hit) {
+      ++p.l1_misses;
+      ++profile.total_l1_misses;
+    }
+  }
+  return profile;
+}
+
+std::int32_t select_trigger(const sim::Trace& trace,
+                            const std::vector<std::int32_t>& targets,
+                            int distance) {
+  if (trace.empty() || targets.empty()) return -1;
+  std::vector<bool> is_target;
+  std::int32_t max_idx = 0;
+  for (const auto t : targets) max_idx = std::max(max_idx, t);
+  is_target.assign(static_cast<std::size_t>(max_idx) + 1, false);
+  for (const auto t : targets) is_target[t] = true;
+
+  std::unordered_map<std::int32_t, std::uint64_t> histogram;
+  const auto d = static_cast<std::size_t>(distance);
+  for (std::size_t pos = d; pos < trace.size(); ++pos) {
+    const auto idx = trace[pos].static_idx;
+    if (static_cast<std::size_t>(idx) < is_target.size() && is_target[idx])
+      ++histogram[trace[pos - d].static_idx];
+  }
+  std::int32_t best = -1;
+  std::uint64_t best_count = 0;
+  for (const auto& [idx, count] : histogram) {
+    if (count > best_count || (count == best_count && idx < best)) {
+      best = idx;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace hidisc::compiler

@@ -1,0 +1,59 @@
+// Cache-access profiling (paper §4.2: "We use a cache access profile to
+// detect probable cache miss instructions").
+//
+// Replays a functional trace through a fresh memory hierarchy and records,
+// per static load/store, how many L1-D demand misses it caused.  Also
+// provides the dynamic-distance histogram used to place each CMAS group's
+// trigger instruction ~512 dynamic instructions ahead of its miss (paper:
+// "the instruction which is 512 instructions away from the cache miss
+// instruction is defined as a trigger instruction").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/functional.hpp"
+
+namespace hidisc::compiler {
+
+struct InstrProfile {
+  std::uint64_t executions = 0;
+  std::uint64_t mem_accesses = 0;
+  std::uint64_t l1_misses = 0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return mem_accesses == 0
+               ? 0.0
+               : static_cast<double>(l1_misses) /
+                     static_cast<double>(mem_accesses);
+  }
+};
+
+struct CacheProfile {
+  // Indexed by static instruction.
+  std::vector<InstrProfile> per_instr;
+  std::uint64_t dynamic_instructions = 0;
+  std::uint64_t total_l1_misses = 0;
+
+  // Static instructions whose miss behaviour crosses the thresholds.
+  [[nodiscard]] std::vector<std::int32_t> probable_miss_instructions(
+      double min_miss_rate, std::uint64_t min_misses) const;
+};
+
+// Profiles `prog` by replaying `trace` through `mem_cfg` caches.
+[[nodiscard]] CacheProfile profile_cache(const isa::Program& prog,
+                                         const sim::Trace& trace,
+                                         const mem::MemConfig& mem_cfg);
+
+// For each dynamic occurrence of any instruction in `targets`, looks
+// `distance` dynamic instructions backwards in `trace` and histograms the
+// static instruction found there; returns the most frequent one (-1 when
+// `targets` never executes beyond `distance`).
+[[nodiscard]] std::int32_t select_trigger(
+    const sim::Trace& trace, const std::vector<std::int32_t>& targets,
+    int distance);
+
+}  // namespace hidisc::compiler

@@ -1,0 +1,250 @@
+#include "compiler/verify.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "isa/disassembler.hpp"
+
+namespace hidisc::compiler {
+
+using isa::Opcode;
+using isa::Stream;
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+struct QueueEffect {
+  // Occupancy change range [lo, hi] (BEOD consumes 0 or 1 entries).
+  int ldq_lo = 0, ldq_hi = 0;
+  int sdq_lo = 0, sdq_hi = 0;
+};
+
+QueueEffect effect_of(const isa::Instruction& inst) {
+  QueueEffect e;
+  switch (inst.op) {
+    case Opcode::PUSHLDQ: case Opcode::PUSHLDQF: case Opcode::PUTEOD:
+      e.ldq_lo = e.ldq_hi = +1;
+      break;
+    case Opcode::POPLDQ: case Opcode::POPLDQF:
+      e.ldq_lo = e.ldq_hi = -1;
+      break;
+    case Opcode::BEOD:
+      e.ldq_lo = -1;
+      e.ldq_hi = 0;
+      break;
+    case Opcode::PUSHSDQ: case Opcode::PUSHSDQF:
+      e.sdq_lo = e.sdq_hi = +1;
+      break;
+    case Opcode::POPSDQ: case Opcode::POPSDQF:
+      e.sdq_lo = e.sdq_hi = -1;
+      break;
+    default:
+      break;
+  }
+  if (inst.ann.push_ldq) {
+    ++e.ldq_lo;
+    ++e.ldq_hi;
+  }
+  if (inst.ann.push_sdq) {
+    ++e.sdq_lo;
+    ++e.sdq_hi;
+  }
+  return e;
+}
+
+struct Interval {
+  int lo = 0, hi = 0;
+  bool reached = false;
+
+  bool merge(const Interval& other) {
+    if (!other.reached) return false;
+    if (!reached) {
+      *this = other;
+      return true;
+    }
+    bool changed = false;
+    if (other.lo < lo) { lo = other.lo; changed = true; }
+    if (other.hi > hi) { hi = other.hi; changed = true; }
+    return changed;
+  }
+};
+
+void note(VerifyResult& out, std::int32_t idx, const isa::Instruction& inst,
+          const std::string& what) {
+  std::ostringstream msg;
+  msg << "[" << idx << "] " << isa::disassemble(inst) << ": " << what;
+  out.violations.push_back(msg.str());
+}
+
+}  // namespace
+
+VerifyResult verify_separation(const isa::Program& prog) {
+  VerifyResult out;
+  const auto n = static_cast<std::int32_t>(prog.code.size());
+  if (n == 0) {
+    out.violations.push_back("empty program");
+    return out;
+  }
+
+  // ---- per-instruction stream / role legality ----------------------------
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto& inst = prog.code[i];
+    const auto s = inst.ann.stream;
+    if (s == Stream::None) {
+      note(out, i, inst, "missing stream annotation");
+      continue;
+    }
+    if (s == Stream::Compute &&
+        (isa::is_mem(inst.op) || isa::is_branch(inst.op) ||
+         inst.op == Opcode::JR || inst.op == Opcode::JALR))
+      note(out, i, inst, "memory/branch instruction routed to the CP");
+    if (s == Stream::Access && isa::is_fp_compute(inst.op))
+      note(out, i, inst, "FP compute routed to the AP (no FP units)");
+    // Queue role sides: LDQ is AP->CP, SDQ is CP->AP.
+    switch (inst.op) {
+      case Opcode::PUSHLDQ: case Opcode::PUSHLDQF: case Opcode::PUTEOD:
+        if (s != Stream::Access)
+          note(out, i, inst, "LDQ producer must be on the access side");
+        break;
+      case Opcode::POPLDQ: case Opcode::POPLDQF:
+        if (s != Stream::Compute)
+          note(out, i, inst, "LDQ consumer must be on the compute side");
+        break;
+      case Opcode::PUSHSDQ: case Opcode::PUSHSDQF:
+        if (s != Stream::Compute)
+          note(out, i, inst, "SDQ producer must be on the compute side");
+        break;
+      case Opcode::POPSDQ: case Opcode::POPSDQF:
+        if (s != Stream::Access)
+          note(out, i, inst, "SDQ consumer must be on the access side");
+        break;
+      default:
+        break;
+    }
+    if (inst.ann.push_ldq && s != Stream::Access)
+      note(out, i, inst, "push_ldq flag on a non-access instruction");
+    if (inst.ann.push_sdq && s != Stream::Compute)
+      note(out, i, inst, "push_sdq flag on a non-compute instruction");
+
+    // Compiler-inserted pops must sit directly after their partner.
+    if (inst.ann.compiler_inserted) {
+      const bool is_pop = inst.op == Opcode::POPLDQ ||
+                          inst.op == Opcode::POPLDQF ||
+                          inst.op == Opcode::POPSDQ ||
+                          inst.op == Opcode::POPSDQF;
+      if (is_pop) {
+        if (i == 0) {
+          note(out, i, inst, "inserted pop with no producer before it");
+        } else {
+          const auto& prev = prog.code[i - 1];
+          const bool ldq = inst.op == Opcode::POPLDQ ||
+                           inst.op == Opcode::POPLDQF;
+          const bool paired =
+              ldq ? (prev.ann.push_ldq || prev.op == Opcode::PUSHLDQ ||
+                     prev.op == Opcode::PUSHLDQF)
+                  : (prev.ann.push_sdq || prev.op == Opcode::PUSHSDQ ||
+                     prev.op == Opcode::PUSHSDQF);
+          if (!paired)
+            note(out, i, inst,
+                 "inserted pop is not adjacent to a matching push");
+        }
+      }
+    }
+  }
+
+  // ---- CMAS structure -----------------------------------------------------
+  std::int16_t max_group = -1;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto& inst = prog.code[i];
+    if (inst.ann.in_cmas) {
+      max_group = std::max(max_group, inst.ann.cmas_group);
+      if (inst.ann.cmas_group < 0)
+        note(out, i, inst, "CMAS member without a group id");
+      if (inst.ann.stream == Stream::Compute)
+        note(out, i, inst, "CMAS member outside the Access Stream");
+      if (isa::is_store(inst.op) || isa::is_control(inst.op) ||
+          isa::is_fp_compute(inst.op) || isa::is_queue_op(inst.op))
+        note(out, i, inst, "illegal opcode inside a CMAS slice");
+    }
+  }
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto& inst = prog.code[i];
+    if (inst.ann.is_trigger &&
+        (inst.ann.trigger_group < 0 || inst.ann.trigger_group > max_group))
+      note(out, i, inst, "trigger references a nonexistent CMAS group");
+  }
+
+  // ---- sequential queue balance (interval dataflow with widening) --------
+  // Tracks possible LDQ/SDQ occupancy at each instruction under sequential
+  // (functional) execution.  lo < 0 means some path pops an empty queue;
+  // unbounded hi on a cycle means a layout that grows a queue every lap —
+  // a timing deadlock once capacity is exceeded.
+  std::vector<Interval> ldq_in(n), sdq_in(n);
+  std::vector<int> visits(n, 0);
+  std::vector<std::int32_t> work{prog.entry};
+  ldq_in[prog.entry].reached = true;
+  sdq_in[prog.entry].reached = true;
+  bool underflow_noted = false, growth_noted = false;
+  while (!work.empty()) {
+    const auto i = work.back();
+    work.pop_back();
+    const auto e = effect_of(prog.code[i]);
+    Interval ldq = ldq_in[i], sdq = sdq_in[i];
+    ldq.lo += e.ldq_lo;
+    ldq.hi = ldq.hi >= kInf ? kInf : ldq.hi + e.ldq_hi;
+    sdq.lo += e.sdq_lo;
+    sdq.hi = sdq.hi >= kInf ? kInf : sdq.hi + e.sdq_hi;
+    if ((ldq.lo < 0 || sdq.lo < 0) && !underflow_noted) {
+      underflow_noted = true;
+      note(out, i, prog.code[i],
+           "a path through here pops more than was pushed");
+      break;
+    }
+    if (++visits[i] > 8) {  // widen: the occupancy grows around a cycle
+      if (ldq.hi > ldq_in[i].hi) ldq.hi = kInf;
+      if (sdq.hi > sdq_in[i].hi) sdq.hi = kInf;
+    }
+    // Successors.
+    const auto& inst = prog.code[i];
+    std::vector<std::int32_t> succs;
+    if (isa::is_jump(inst.op)) {
+      if (inst.op == Opcode::J || inst.op == Opcode::JAL) {
+        succs.push_back(inst.target);
+      } else {
+        // Indirect: conservatively stop balance tracking here.
+        continue;
+      }
+    } else if (inst.op == Opcode::HALT) {
+      continue;
+    } else {
+      if (isa::is_branch(inst.op) || inst.op == Opcode::BEOD)
+        if (inst.target >= 0) succs.push_back(inst.target);
+      if (i + 1 < n) succs.push_back(i + 1);
+    }
+    for (const auto s : succs) {
+      if (s < 0 || s >= n) continue;
+      Interval l = ldq, q = sdq;
+      const bool changed =
+          ldq_in[s].merge(l) | sdq_in[s].merge(q);
+      if (changed && visits[s] < 64) work.push_back(s);
+    }
+  }
+  if (!growth_noted) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      if ((ldq_in[i].reached && ldq_in[i].hi >= kInf) ||
+          (sdq_in[i].reached && sdq_in[i].hi >= kInf)) {
+        note(out, i, prog.code[i],
+             "queue occupancy grows without bound around a loop "
+             "(will deadlock the timing machines past queue capacity)");
+        growth_noted = true;
+        break;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace hidisc::compiler

@@ -1,0 +1,33 @@
+// Structural verifier for compiled (separated + CMAS-annotated) binaries.
+//
+// `verify_separation` re-derives every invariant the machines rely on and
+// returns the violations as strings (empty = valid).  Run it on anything
+// you feed to the decoupled machines — especially hand-annotated assembly
+// — to catch protocol bugs before they become timing deadlocks:
+//
+//   * every instruction carries a stream tag, and the tag is legal for
+//     its processor (no memory ops on the CP, no FP compute on the AP);
+//   * queue roles are consistent (pop opcodes on the consuming side, push
+//     flags/opcodes on the producing side);
+//   * compiler-inserted pops sit directly after their pushing partner;
+//   * along every control-flow path, LDQ/SDQ pushes and pops balance (no
+//     layout can drain a queue it never filled);
+//   * CMAS groups are subsets of the Access Stream, contain no stores,
+//     control flow, or FP, and each trigger references a real group.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace hidisc::compiler {
+
+struct VerifyResult {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+[[nodiscard]] VerifyResult verify_separation(const isa::Program& prog);
+
+}  // namespace hidisc::compiler

@@ -1,0 +1,53 @@
+// Two-pass text assembler for HISA.
+//
+// Syntax is MIPS-flavoured:
+//
+//   .data
+//   arr:    .space 1024          ; labels end with ':'
+//   tbl:    .dword 1, 2, arr     ; 8-byte words; labels allowed
+//   pi:     .double 3.14159
+//   .text
+//   _start: la   r4, arr
+//   loop:   ld   r6, 0(r4)
+//           addi r4, r4, 8
+//           bne  r6, r0, loop
+//           halt
+//
+// Comments start with '#' or ';'.  Register aliases (a0-a3, t0-t9, s0-s7,
+// sp, ra, ...) follow the MIPS convention.  Every pseudo-instruction
+// (la/li/mv/b/neg/not/nop) expands to exactly one HISA instruction.
+// Execution starts at the `_start` label if present, else at index 0.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace hidisc::isa {
+
+// Assembly error with 1-based source line attribution.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& what)
+      : std::runtime_error("asm:" + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+class Assembler {
+ public:
+  // Assembles `source` into a Program.  Throws AsmError on malformed input.
+  [[nodiscard]] Program assemble(std::string_view source) const;
+};
+
+// Convenience wrapper.
+[[nodiscard]] inline Program assemble(std::string_view source) {
+  return Assembler{}.assemble(source);
+}
+
+}  // namespace hidisc::isa

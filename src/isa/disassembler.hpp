@@ -1,0 +1,19 @@
+// Disassembly of HISA instructions back to assembler-compatible text.
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace hidisc::isa {
+
+// Renders one instruction.  The output re-assembles to an equal instruction
+// (modulo annotation, which is printed as a trailing comment when present).
+[[nodiscard]] std::string disassemble(const Instruction& inst);
+
+// Renders a whole program, one instruction per line, prefixed with the
+// instruction index and synthesized `L<idx>:` labels at branch targets.
+[[nodiscard]] std::string disassemble(const Program& prog);
+
+}  // namespace hidisc::isa

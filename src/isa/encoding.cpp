@@ -1,0 +1,202 @@
+#include "isa/encoding.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hidisc::isa {
+namespace {
+
+std::uint8_t pack_reg(Reg r) noexcept {
+  if (!r.valid()) return 0;
+  return static_cast<std::uint8_t>(0x40 | (r.is_fp() ? 0x80 : 0) |
+                                   (r.idx & 0x1f));
+}
+
+Reg unpack_reg(std::uint8_t b) {
+  if (!(b & 0x40)) return no_reg();
+  const auto idx = static_cast<std::uint8_t>(b & 0x1f);
+  return (b & 0x80) ? fr(idx) : ir(idx);
+}
+
+template <typename T>
+void put(std::uint8_t* p, T v) noexcept {
+  std::memcpy(p, &v, sizeof v);
+}
+template <typename T>
+T get(const std::uint8_t* p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+constexpr std::uint32_t kAnnStreamMask = 0x3;
+constexpr std::uint32_t kAnnPushLdq = 1u << 2;
+constexpr std::uint32_t kAnnPushSdq = 1u << 3;
+constexpr std::uint32_t kAnnInCmas = 1u << 4;
+constexpr std::uint32_t kAnnTrigger = 1u << 5;
+constexpr std::uint32_t kAnnInserted = 1u << 6;
+constexpr std::uint32_t kAnnCmasLive = 1u << 7;
+
+std::uint32_t pack_ann_flags(const Annotation& a) noexcept {
+  std::uint32_t f = static_cast<std::uint32_t>(a.stream) & kAnnStreamMask;
+  if (a.push_ldq) f |= kAnnPushLdq;
+  if (a.push_sdq) f |= kAnnPushSdq;
+  if (a.in_cmas) f |= kAnnInCmas;
+  if (a.is_trigger) f |= kAnnTrigger;
+  if (a.compiler_inserted) f |= kAnnInserted;
+  if (a.cmas_value_live) f |= kAnnCmasLive;
+  f |= static_cast<std::uint32_t>(static_cast<std::uint16_t>(a.cmas_group))
+       << 16;
+  return f;
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto n = out.size();
+  out.resize(n + 4);
+  put(out.data() + n, v);
+}
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto n = out.size();
+  out.resize(n + 8);
+  put(out.data() + n, v);
+}
+void append_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::string str() {
+    const auto n = u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  void bytes(void* dst, std::size_t n) {
+    require(n);
+    std::memcpy(dst, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+ private:
+  template <typename T>
+  T take() {
+    require(sizeof(T));
+    T v = get<T>(buf_.data() + pos_);
+    pos_ += sizeof(T);
+    return v;
+  }
+  void require(std::size_t n) const {
+    if (pos_ + n > buf_.size())
+      throw std::runtime_error("truncated program image");
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::array<std::uint8_t, kEncodedInstrBytes> encode(
+    const Instruction& inst) noexcept {
+  std::array<std::uint8_t, kEncodedInstrBytes> rec{};
+  rec[0] = static_cast<std::uint8_t>(inst.op);
+  rec[1] = pack_reg(inst.dst);
+  rec[2] = pack_reg(inst.src1);
+  rec[3] = pack_reg(inst.src2);
+  put(rec.data() + 4, inst.imm);
+  put(rec.data() + 12, inst.target);
+  put(rec.data() + 16, pack_ann_flags(inst.ann));
+  put(rec.data() + 20,
+      static_cast<std::uint32_t>(
+          static_cast<std::uint16_t>(inst.ann.trigger_group)));
+  return rec;
+}
+
+Instruction decode(const std::array<std::uint8_t, kEncodedInstrBytes>& rec) {
+  if (rec[0] >= kNumOpcodes)
+    throw std::runtime_error("decode: bad opcode byte");
+  Instruction inst;
+  inst.op = static_cast<Opcode>(rec[0]);
+  inst.dst = unpack_reg(rec[1]);
+  inst.src1 = unpack_reg(rec[2]);
+  inst.src2 = unpack_reg(rec[3]);
+  inst.imm = get<std::int64_t>(rec.data() + 4);
+  inst.target = get<std::int32_t>(rec.data() + 12);
+  const auto f = get<std::uint32_t>(rec.data() + 16);
+  inst.ann.stream = static_cast<Stream>(f & kAnnStreamMask);
+  inst.ann.push_ldq = f & kAnnPushLdq;
+  inst.ann.push_sdq = f & kAnnPushSdq;
+  inst.ann.in_cmas = f & kAnnInCmas;
+  inst.ann.is_trigger = f & kAnnTrigger;
+  inst.ann.compiler_inserted = f & kAnnInserted;
+  inst.ann.cmas_value_live = f & kAnnCmasLive;
+  inst.ann.cmas_group =
+      static_cast<std::int16_t>(static_cast<std::uint16_t>(f >> 16));
+  inst.ann.trigger_group = static_cast<std::int16_t>(
+      static_cast<std::uint16_t>(get<std::uint32_t>(rec.data() + 20)));
+  return inst;
+}
+
+std::vector<std::uint8_t> save_program(const Program& prog) {
+  std::vector<std::uint8_t> out;
+  append_u32(out, kProgramMagic);
+  append_u32(out, 1);  // version
+  append_u32(out, static_cast<std::uint32_t>(prog.code.size()));
+  for (const auto& inst : prog.code) {
+    const auto rec = encode(inst);
+    out.insert(out.end(), rec.begin(), rec.end());
+  }
+  append_u64(out, prog.data_base);
+  append_u32(out, static_cast<std::uint32_t>(prog.data.size()));
+  out.insert(out.end(), prog.data.begin(), prog.data.end());
+  append_u32(out, static_cast<std::uint32_t>(prog.data_labels.size()));
+  for (const auto& [name, addr] : prog.data_labels) {
+    append_str(out, name);
+    append_u64(out, addr);
+  }
+  append_u32(out, static_cast<std::uint32_t>(prog.code_labels.size()));
+  for (const auto& [name, idx] : prog.code_labels) {
+    append_str(out, name);
+    append_u32(out, static_cast<std::uint32_t>(idx));
+  }
+  append_u32(out, static_cast<std::uint32_t>(prog.entry));
+  return out;
+}
+
+Program load_program(const std::vector<std::uint8_t>& image) {
+  Reader in(image);
+  if (in.u32() != kProgramMagic)
+    throw std::runtime_error("bad program magic");
+  if (in.u32() != 1) throw std::runtime_error("bad program version");
+  Program prog;
+  const auto ninstr = in.u32();
+  prog.code.reserve(ninstr);
+  for (std::uint32_t i = 0; i < ninstr; ++i) {
+    std::array<std::uint8_t, kEncodedInstrBytes> rec;
+    in.bytes(rec.data(), rec.size());
+    prog.code.push_back(decode(rec));
+  }
+  prog.data_base = in.u64();
+  prog.data.resize(in.u32());
+  if (!prog.data.empty()) in.bytes(prog.data.data(), prog.data.size());
+  const auto ndl = in.u32();
+  for (std::uint32_t i = 0; i < ndl; ++i) {
+    auto name = in.str();
+    prog.data_labels.emplace(std::move(name), in.u64());
+  }
+  const auto ncl = in.u32();
+  for (std::uint32_t i = 0; i < ncl; ++i) {
+    auto name = in.str();
+    prog.code_labels.emplace(std::move(name),
+                             static_cast<std::int32_t>(in.u32()));
+  }
+  prog.entry = static_cast<std::int32_t>(in.u32());
+  return prog;
+}
+
+}  // namespace hidisc::isa

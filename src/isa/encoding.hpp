@@ -1,0 +1,41 @@
+// Fixed-width binary serialization for HISA programs.
+//
+// Each instruction encodes to a 24-byte little-endian record:
+//
+//   byte  0      opcode
+//   byte  1      dst   (bit7 = FP, bit6 = valid, low 5 bits = index)
+//   byte  2      src1  (same layout)
+//   byte  3      src2  (same layout)
+//   bytes 4-11   imm   (int64)
+//   bytes 12-15  target (int32)
+//   bytes 16-19  annotation (packed flags + cmas group)
+//   bytes 20-23  annotation (trigger group + reserved)
+//
+// This is a storage format (think SimpleScalar's fat binary with its spare
+// annotation field), not a claim about real machine-code density.  Programs
+// additionally serialize their data image and symbol tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace hidisc::isa {
+
+inline constexpr std::size_t kEncodedInstrBytes = 24;
+inline constexpr std::uint32_t kProgramMagic = 0x48445343;  // "HDSC"
+
+// Instruction <-> record.
+[[nodiscard]] std::array<std::uint8_t, kEncodedInstrBytes> encode(
+    const Instruction& inst) noexcept;
+[[nodiscard]] Instruction decode(
+    const std::array<std::uint8_t, kEncodedInstrBytes>& rec);
+
+// Whole-program image (code + data + labels + entry).  `load_program`
+// throws std::runtime_error on a malformed image.
+[[nodiscard]] std::vector<std::uint8_t> save_program(const Program& prog);
+[[nodiscard]] Program load_program(const std::vector<std::uint8_t>& image);
+
+}  // namespace hidisc::isa

@@ -1,0 +1,106 @@
+// HISA instruction and annotation model.
+//
+// An `Instruction` is the in-memory form produced by the assembler and
+// consumed by the functional simulator, the HiDISC compiler, and the timing
+// machines.  The `Annotation` mirrors the paper's per-instruction annotation
+// field (paper §3.1/§4): it carries the stream tag used by the separator,
+// the queue-communication flags, and the CMAS/trigger marks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace hidisc::isa {
+
+enum class RegKind : std::uint8_t { None, Int, Fp };
+
+// A register operand.  r0 is hardwired to zero.
+struct Reg {
+  RegKind kind = RegKind::None;
+  std::uint8_t idx = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return kind != RegKind::None;
+  }
+  [[nodiscard]] constexpr bool is_int() const noexcept {
+    return kind == RegKind::Int;
+  }
+  [[nodiscard]] constexpr bool is_fp() const noexcept {
+    return kind == RegKind::Fp;
+  }
+  // Flat index over the combined register space [0, kNumArchRegs): integer
+  // registers first, then FP.  Used by dependence analyses.
+  [[nodiscard]] constexpr int flat() const noexcept {
+    return kind == RegKind::Fp ? 32 + idx : idx;
+  }
+  constexpr auto operator<=>(const Reg&) const = default;
+};
+
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+inline constexpr int kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+constexpr Reg ir(std::uint8_t i) noexcept { return Reg{RegKind::Int, i}; }
+constexpr Reg fr(std::uint8_t i) noexcept { return Reg{RegKind::Fp, i}; }
+constexpr Reg no_reg() noexcept { return Reg{}; }
+
+// Conventional register roles used by the assembler and workloads.
+inline constexpr Reg kZero = ir(0);
+inline constexpr Reg kRa = ir(31);    // link register for jal/jalr
+inline constexpr Reg kSp = ir(29);    // stack pointer
+inline constexpr Reg kGp = ir(28);    // global pointer
+
+// Which stream an instruction belongs to after separation (paper §4.2).
+enum class Stream : std::uint8_t {
+  None,     // unseparated binary (superscalar input)
+  Compute,  // Computation Stream -> CP
+  Access,   // Access Stream -> AP
+};
+
+// Per-instruction annotation field (paper: "the annotation field of the
+// SimpleScalar binary" conveys separation, CMAS membership and triggers).
+struct Annotation {
+  Stream stream = Stream::None;
+  // Producer-side queue communication: the instruction's result value is
+  // additionally deposited into the LDQ (AP->CP) or SDQ (CP->AP) when it
+  // completes.  The matching consumer-side POPLDQ/POPSDQ instruction is
+  // inserted by the compiler immediately after this instruction.
+  bool push_ldq = false;
+  bool push_sdq = false;
+  // CMAS (Cache Miss Access Slice) membership, paper §3.1/§4.2.
+  bool in_cmas = false;
+  std::int16_t cmas_group = -1;   // slice id this instruction belongs to
+  // For CMAS loads: true when some instruction of the same group reads the
+  // loaded value (pointer chasing) — the CMP must then wait for the data;
+  // otherwise the load is a fire-and-forget prefetch.
+  bool cmas_value_live = false;
+  // Trigger: when this instruction enters the Access Instruction Queue the
+  // CMP forks slice `trigger_group`.
+  bool is_trigger = false;
+  std::int16_t trigger_group = -1;
+  // Marks instructions inserted by the compiler (communication ops); used
+  // for reporting the separation overhead.
+  bool compiler_inserted = false;
+
+  constexpr bool operator==(const Annotation&) const = default;
+};
+
+struct Instruction {
+  Opcode op = Opcode::NOP;
+  Reg dst;          // destination register (if op_info().writes_dst)
+  Reg src1;         // first source; base register for memory ops
+  Reg src2;         // second source; data register for stores
+  std::int64_t imm = 0;    // immediate / memory displacement
+  std::int32_t target = -1;  // branch/jump target as an instruction index
+  Annotation ann;
+
+  [[nodiscard]] const OpInfo& info() const noexcept { return op_info(op); }
+  constexpr bool operator==(const Instruction&) const = default;
+};
+
+// Human-readable register name ("r4", "f12", "-").
+[[nodiscard]] std::string reg_name(Reg r);
+
+}  // namespace hidisc::isa

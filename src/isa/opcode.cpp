@@ -1,0 +1,124 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+namespace hidisc::isa {
+namespace {
+
+// Latencies follow SimpleScalar's sim-outorder defaults (ALU 1, integer
+// multiply 3, integer divide 20, FP add 2, FP multiply 4, FP divide 12,
+// FP sqrt 24).  Loads add cache latency on top of the 1-cycle AGU.
+constexpr OpInfo make(std::string_view name, OpClass cls, int lat,
+                      bool wd, bool r1, bool r2, bool imm,
+                      bool fpd = false, bool fps = false) {
+  return OpInfo{name, cls, lat, wd, r1, r2, imm, fpd, fps};
+}
+
+constexpr std::array<OpInfo, kNumOpcodes> kTable = [] {
+  std::array<OpInfo, kNumOpcodes> t{};
+  auto set = [&t](Opcode op, OpInfo i) { t[static_cast<int>(op)] = i; };
+  using O = Opcode;
+  using C = OpClass;
+  // Integer reg-reg.
+  set(O::ADD,  make("add",  C::IntAlu, 1, true, true, true, false));
+  set(O::SUB,  make("sub",  C::IntAlu, 1, true, true, true, false));
+  set(O::MUL,  make("mul",  C::IntMul, 3, true, true, true, false));
+  set(O::DIV,  make("div",  C::IntDiv, 20, true, true, true, false));
+  set(O::REM,  make("rem",  C::IntDiv, 20, true, true, true, false));
+  set(O::AND,  make("and",  C::IntAlu, 1, true, true, true, false));
+  set(O::OR,   make("or",   C::IntAlu, 1, true, true, true, false));
+  set(O::XOR,  make("xor",  C::IntAlu, 1, true, true, true, false));
+  set(O::NOR,  make("nor",  C::IntAlu, 1, true, true, true, false));
+  set(O::SLL,  make("sll",  C::IntAlu, 1, true, true, true, false));
+  set(O::SRL,  make("srl",  C::IntAlu, 1, true, true, true, false));
+  set(O::SRA,  make("sra",  C::IntAlu, 1, true, true, true, false));
+  set(O::SLT,  make("slt",  C::IntAlu, 1, true, true, true, false));
+  set(O::SLTU, make("sltu", C::IntAlu, 1, true, true, true, false));
+  // Integer reg-imm.
+  set(O::ADDI, make("addi", C::IntAlu, 1, true, true, false, true));
+  set(O::ANDI, make("andi", C::IntAlu, 1, true, true, false, true));
+  set(O::ORI,  make("ori",  C::IntAlu, 1, true, true, false, true));
+  set(O::XORI, make("xori", C::IntAlu, 1, true, true, false, true));
+  set(O::SLLI, make("slli", C::IntAlu, 1, true, true, false, true));
+  set(O::SRLI, make("srli", C::IntAlu, 1, true, true, false, true));
+  set(O::SRAI, make("srai", C::IntAlu, 1, true, true, false, true));
+  set(O::SLTI, make("slti", C::IntAlu, 1, true, true, false, true));
+  set(O::LUI,  make("lui",  C::IntAlu, 1, true, false, false, true));
+  // Floating point.
+  set(O::FADD,  make("fadd",  C::FpAlu, 2, true, true, true, false, true, true));
+  set(O::FSUB,  make("fsub",  C::FpAlu, 2, true, true, true, false, true, true));
+  set(O::FMUL,  make("fmul",  C::FpMul, 4, true, true, true, false, true, true));
+  set(O::FDIV,  make("fdiv",  C::FpDiv, 12, true, true, true, false, true, true));
+  set(O::FSQRT, make("fsqrt", C::FpDiv, 24, true, true, false, false, true, true));
+  set(O::FMIN,  make("fmin",  C::FpAlu, 2, true, true, true, false, true, true));
+  set(O::FMAX,  make("fmax",  C::FpAlu, 2, true, true, true, false, true, true));
+  set(O::FNEG,  make("fneg",  C::FpAlu, 1, true, true, false, false, true, true));
+  set(O::FABS,  make("fabs",  C::FpAlu, 1, true, true, false, false, true, true));
+  set(O::FMOV,  make("fmov",  C::FpAlu, 1, true, true, false, false, true, true));
+  set(O::CVTIF, make("cvtif", C::FpAlu, 2, true, true, false, false, true, false));
+  set(O::CVTFI, make("cvtfi", C::FpAlu, 2, true, true, false, false, false, true));
+  set(O::FEQ,   make("feq",   C::FpAlu, 2, true, true, true, false, false, true));
+  set(O::FLT,   make("flt",   C::FpAlu, 2, true, true, true, false, false, true));
+  set(O::FLE,   make("fle",   C::FpAlu, 2, true, true, true, false, false, true));
+  // Memory.  Latency 1 is the AGU; cache latency is added by the machine.
+  set(O::LB,  make("lb",  C::Load, 1, true, true, false, true));
+  set(O::LBU, make("lbu", C::Load, 1, true, true, false, true));
+  set(O::LH,  make("lh",  C::Load, 1, true, true, false, true));
+  set(O::LHU, make("lhu", C::Load, 1, true, true, false, true));
+  set(O::LW,  make("lw",  C::Load, 1, true, true, false, true));
+  set(O::LWU, make("lwu", C::Load, 1, true, true, false, true));
+  set(O::LD,  make("ld",  C::Load, 1, true, true, false, true));
+  set(O::FLD, make("fld", C::Load, 1, true, true, false, true, true, false));
+  set(O::SB,  make("sb",  C::Store, 1, false, true, true, true));
+  set(O::SH,  make("sh",  C::Store, 1, false, true, true, true));
+  set(O::SW,  make("sw",  C::Store, 1, false, true, true, true));
+  set(O::SD,  make("sd",  C::Store, 1, false, true, true, true));
+  set(O::FSD, make("fsd", C::Store, 1, false, true, true, true, false, true));
+  set(O::PREF, make("pref", C::Prefetch, 1, false, true, false, true));
+  // Control.
+  set(O::BEQ,  make("beq",  C::Branch, 1, false, true, true, false));
+  set(O::BNE,  make("bne",  C::Branch, 1, false, true, true, false));
+  set(O::BLT,  make("blt",  C::Branch, 1, false, true, true, false));
+  set(O::BGE,  make("bge",  C::Branch, 1, false, true, true, false));
+  set(O::BLTU, make("bltu", C::Branch, 1, false, true, true, false));
+  set(O::BGEU, make("bgeu", C::Branch, 1, false, true, true, false));
+  set(O::J,    make("j",    C::Jump, 1, false, false, false, false));
+  set(O::JAL,  make("jal",  C::Jump, 1, true, false, false, false));
+  set(O::JR,   make("jr",   C::Jump, 1, false, true, false, false));
+  set(O::JALR, make("jalr", C::Jump, 1, true, true, false, false));
+  set(O::HALT, make("halt", C::Halt, 1, false, false, false, false));
+  // Queues.
+  set(O::PUSHLDQ,  make("pushldq",  C::Queue, 1, false, true, false, false));
+  set(O::PUSHLDQF, make("pushldqf", C::Queue, 1, false, true, false, false, false, true));
+  set(O::POPLDQ,   make("popldq",   C::Queue, 1, true, false, false, false));
+  set(O::POPLDQF,  make("popldqf",  C::Queue, 1, true, false, false, false, true, false));
+  set(O::PUSHSDQ,  make("pushsdq",  C::Queue, 1, false, true, false, false));
+  set(O::PUSHSDQF, make("pushsdqf", C::Queue, 1, false, true, false, false, false, true));
+  set(O::POPSDQ,   make("popsdq",   C::Queue, 1, true, false, false, false));
+  set(O::POPSDQF,  make("popsdqf",  C::Queue, 1, true, false, false, false, true, false));
+  set(O::PUTEOD,   make("puteod",   C::Queue, 1, false, false, false, false));
+  set(O::BEOD,     make("beod",     C::Queue, 1, false, false, false, false));
+  set(O::GETSCQ,   make("getscq",   C::Queue, 1, false, false, false, false));
+  set(O::PUTSCQ,   make("putscq",   C::Queue, 1, false, false, false, false));
+  set(O::NOP,      make("nop",      C::Nop, 1, false, false, false, false));
+  return t;
+}();
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) noexcept {
+  return kTable[static_cast<int>(op)];
+}
+
+int mem_width(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::LB: case Opcode::LBU: case Opcode::SB: return 1;
+    case Opcode::LH: case Opcode::LHU: case Opcode::SH: return 2;
+    case Opcode::LW: case Opcode::LWU: case Opcode::SW: return 4;
+    case Opcode::LD: case Opcode::FLD: case Opcode::SD:
+    case Opcode::FSD: case Opcode::PREF: return 8;
+    default: return 0;
+  }
+}
+
+}  // namespace hidisc::isa

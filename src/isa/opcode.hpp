@@ -1,0 +1,121 @@
+// HISA opcode definitions.
+//
+// HISA is the self-contained MIPS/PISA-like instruction set used throughout
+// this repository (see DESIGN.md §2 for why we define our own rather than
+// depending on SimpleScalar's PISA).  Integer registers are 64-bit, floating
+// point registers hold IEEE-754 doubles, memory is byte-addressed and
+// little-endian.
+//
+// The queue opcodes (POPLDQ / PUSHSDQ / PUTEOD / BEOD / GETSCQ / PUTSCQ)
+// implement the architectural FIFOs of the decoupled machine (paper §3.2).
+// They appear either in compiler-separated binaries or in hand-written
+// decoupled assembly such as the paper's Figure 3 example.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hidisc::isa {
+
+enum class Opcode : std::uint8_t {
+  // Integer register-register ALU.
+  ADD, SUB, MUL, DIV, REM,
+  AND, OR, XOR, NOR,
+  SLL, SRL, SRA,
+  SLT, SLTU,
+  // Integer register-immediate ALU.
+  ADDI, ANDI, ORI, XORI,
+  SLLI, SRLI, SRAI, SLTI,
+  LUI,
+  // Floating point (doubles).
+  FADD, FSUB, FMUL, FDIV, FSQRT,
+  FMIN, FMAX, FNEG, FABS, FMOV,
+  CVTIF,   // int reg -> fp reg
+  CVTFI,   // fp reg -> int reg (truncating)
+  FEQ, FLT, FLE,  // fp compare, integer 0/1 result
+  // Memory.
+  LB, LBU, LH, LHU, LW, LWU, LD,  // integer loads (sign/zero extending)
+  FLD,                            // fp load (8 bytes)
+  SB, SH, SW, SD,                 // integer stores
+  FSD,                            // fp store (8 bytes)
+  PREF,                           // data prefetch into L1 (no arch effect)
+  // Control.
+  BEQ, BNE, BLT, BGE, BLTU, BGEU,
+  J, JAL, JR, JALR,
+  HALT,
+  // Decoupling queues (paper §3.2).
+  PUSHLDQ,   // push int reg onto Load Data Queue   (AP side)
+  PUSHLDQF,  // push fp reg onto Load Data Queue
+  POPLDQ,    // pop LDQ into int reg                (CP side)
+  POPLDQF,   // pop LDQ into fp reg
+  PUSHSDQ,   // push int reg onto Store Data Queue  (CP side)
+  PUSHSDQF,  // push fp reg onto Store Data Queue
+  POPSDQ,    // pop SDQ into int reg                (AP side)
+  POPSDQF,   // pop SDQ into fp reg
+  PUTEOD,    // AP: deposit End-Of-Data token into the LDQ
+  BEOD,      // CP: if LDQ head is EOD, consume it and branch
+  GETSCQ,    // AP: consume one Slip Control Queue token
+  PUTSCQ,    // CMP: produce one Slip Control Queue token
+  NOP,
+  kCount,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+
+// Coarse execution class; selects the functional-unit pool and base latency
+// in the timing model (Table 1 of the paper).
+enum class OpClass : std::uint8_t {
+  IntAlu, IntMul, IntDiv,
+  FpAlu, FpMul, FpDiv,
+  Load, Store, Prefetch,
+  Branch, Jump,
+  Queue,   // queue push/pop/token ops: single-cycle, in-order per queue
+  Halt, Nop,
+};
+
+struct OpInfo {
+  std::string_view name;   // assembler mnemonic
+  OpClass cls;
+  int latency;             // execution latency in cycles (FU occupancy is 1)
+  bool writes_dst;         // instruction writes `dst`
+  bool reads_src1;
+  bool reads_src2;
+  bool has_imm;
+  bool is_fp_dst;          // dst is an FP register
+  bool is_fp_src;          // src operands are FP registers
+};
+
+// Returns the static description of `op`.  Total function over the enum.
+const OpInfo& op_info(Opcode op) noexcept;
+
+[[nodiscard]] inline bool is_load(Opcode op) noexcept {
+  return op_info(op).cls == OpClass::Load;
+}
+[[nodiscard]] inline bool is_store(Opcode op) noexcept {
+  return op_info(op).cls == OpClass::Store;
+}
+[[nodiscard]] inline bool is_mem(Opcode op) noexcept {
+  const OpClass c = op_info(op).cls;
+  return c == OpClass::Load || c == OpClass::Store || c == OpClass::Prefetch;
+}
+[[nodiscard]] inline bool is_branch(Opcode op) noexcept {
+  return op_info(op).cls == OpClass::Branch;
+}
+[[nodiscard]] inline bool is_jump(Opcode op) noexcept {
+  return op_info(op).cls == OpClass::Jump;
+}
+[[nodiscard]] inline bool is_control(Opcode op) noexcept {
+  return is_branch(op) || is_jump(op) || op == Opcode::BEOD;
+}
+[[nodiscard]] inline bool is_fp_compute(Opcode op) noexcept {
+  const OpClass c = op_info(op).cls;
+  return c == OpClass::FpAlu || c == OpClass::FpMul || c == OpClass::FpDiv;
+}
+[[nodiscard]] inline bool is_queue_op(Opcode op) noexcept {
+  return op_info(op).cls == OpClass::Queue;
+}
+
+// Number of bytes moved by a memory opcode (0 for non-memory ops).
+[[nodiscard]] int mem_width(Opcode op) noexcept;
+
+}  // namespace hidisc::isa

@@ -1,0 +1,55 @@
+#include "isa/program.hpp"
+
+#include <stdexcept>
+
+namespace hidisc::isa {
+namespace {
+
+// Shifts all control-transfer targets, code labels, and the entry point
+// that satisfy `t >= threshold` up by one, after a single insertion.
+void remap_targets(Program& p, std::int32_t threshold) {
+  for (auto& inst : p.code) {
+    if (inst.target >= threshold) ++inst.target;
+  }
+  for (auto& [name, idx] : p.code_labels) {
+    if (idx >= threshold) ++idx;
+  }
+  if (p.entry >= threshold) ++p.entry;
+}
+
+}  // namespace
+
+std::uint64_t Program::data_addr(const std::string& label) const {
+  auto it = data_labels.find(label);
+  if (it == data_labels.end())
+    throw std::out_of_range("unknown data label: " + label);
+  return it->second;
+}
+
+std::int32_t Program::code_index(const std::string& label) const {
+  auto it = code_labels.find(label);
+  if (it == code_labels.end())
+    throw std::out_of_range("unknown code label: " + label);
+  return it->second;
+}
+
+void Program::insert_after(std::int32_t pos, Instruction inst) {
+  const auto at = pos + 1;
+  if (at < 0 || at > static_cast<std::int32_t>(code.size()))
+    throw std::out_of_range("insert_after: bad position");
+  if (inst.target >= at) ++inst.target;  // pre-adjust the new instruction
+  remap_targets(*this, at);
+  code.insert(code.begin() + at, inst);
+}
+
+void Program::insert_before(std::int32_t pos, Instruction inst) {
+  if (pos < 0 || pos > static_cast<std::int32_t>(code.size()))
+    throw std::out_of_range("insert_before: bad position");
+  if (inst.target > pos) ++inst.target;
+  // Transfers to `pos` keep their index (they now reach the inserted
+  // instruction first); everything strictly beyond shifts by one.
+  remap_targets(*this, pos + 1);
+  code.insert(code.begin() + pos, inst);
+}
+
+}  // namespace hidisc::isa

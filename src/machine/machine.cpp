@@ -1,0 +1,410 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hidisc::machine {
+
+using isa::Opcode;
+using isa::Stream;
+using uarch::DynOp;
+using uarch::OoOCore;
+
+namespace {
+
+// Trace entries a CMP context may scan per cycle while hunting for its
+// slice's instructions; models the CMP front end's slice-fetch rate.
+constexpr std::size_t kCmpScanBudget = 64;
+
+std::int16_t num_cmas_groups(const isa::Program& prog) {
+  std::int16_t n = 0;
+  for (const auto& inst : prog.code)
+    if (inst.ann.in_cmas)
+      n = std::max(n, static_cast<std::int16_t>(inst.ann.cmas_group + 1));
+  return n;
+}
+
+}  // namespace
+
+Machine::Machine(const isa::Program& prog, const sim::Trace& trace,
+                 Preset preset, const MachineConfig& cfg)
+    : prog_(prog),
+      trace_(trace),
+      preset_(preset),
+      cfg_(cfg),
+      memsys_(cfg.mem),
+      predictor_(cfg.predictor_table, cfg.btb_size, 8,
+                 cfg.predictor_kind),
+      ldq_("LDQ", cfg.ldq_capacity),
+      sdq_("SDQ", cfg.sdq_capacity),
+      scq_("SCQ", cfg.scq_capacity) {
+  const OoOCore::Queues queues{&ldq_, &sdq_, &scq_};
+  switch (preset_) {
+    case Preset::Superscalar:
+      main_ = std::make_unique<OoOCore>(cfg_.superscalar, &memsys_, queues);
+      break;
+    case Preset::CPAP:
+      cp_ = std::make_unique<OoOCore>(cfg_.cp, &memsys_, queues);
+      ap_ = std::make_unique<OoOCore>(cfg_.ap, &memsys_, queues);
+      break;
+    case Preset::CPCMP:
+      main_ = std::make_unique<OoOCore>(cfg_.superscalar, &memsys_, queues);
+      cmp_ = std::make_unique<OoOCore>(cfg_.cmp, &memsys_, queues);
+      break;
+    case Preset::HiDISC:
+      cp_ = std::make_unique<OoOCore>(cfg_.cp, &memsys_, queues);
+      ap_ = std::make_unique<OoOCore>(cfg_.ap, &memsys_, queues);
+      cmp_ = std::make_unique<OoOCore>(cfg_.cmp, &memsys_, queues);
+      break;
+  }
+  if (cmp_) {
+    contexts_.resize(static_cast<std::size_t>(cfg_.cmp_contexts));
+    const auto ngroups = static_cast<std::size_t>(num_cmas_groups(prog_));
+    group_next_scan_.assign(ngroups, 0);
+    group_reprobe_.assign(ngroups, 0);
+    group_serial_.assign(ngroups, false);
+    for (const auto& inst : prog_.code)
+      if (inst.ann.in_cmas && inst.ann.cmas_value_live)
+        group_serial_[inst.ann.cmas_group] = true;
+  }
+  lookahead_ = cfg_.cmp_fork_lookahead;
+  next_adapt_cycle_ = cfg_.cmp_adapt_interval;
+}
+
+// Hill-climbing control of the fork distance (paper §6: "the prefetching
+// distance should be selected dynamically ... depending on the previous
+// prefetching history").  Goodness of the last window = timely prefetch
+// hits minus late (in-flight) ones; when a step made things worse, the
+// direction flips.
+void Machine::adapt_distance(std::uint64_t now) {
+  if (!cfg_.cmp_dynamic_distance || cmp_ == nullptr ||
+      now < next_adapt_cycle_)
+    return;
+  next_adapt_cycle_ = now + cfg_.cmp_adapt_interval;
+
+  const auto& l1 = memsys_.l1().stats();
+  const auto useful = l1.useful_prefetches - adapt_last_useful_;
+  const auto late = l1.late_prefetch_hits - adapt_last_late_;
+  const auto issued = l1.prefetches - adapt_last_issued_;
+  adapt_last_useful_ = l1.useful_prefetches;
+  adapt_last_late_ = l1.late_prefetch_hits;
+  adapt_last_issued_ = l1.prefetches;
+  if (issued == 0) return;  // no prefetch activity to learn from
+
+  // Direct signal control: a late-heavy window means the fork distance is
+  // too short (fills still in flight when the AP arrives); a window whose
+  // prefetches mostly go unconsumed means it is too long (lines go stale
+  // or get evicted before use).  Otherwise hold.
+  const auto consumed = useful + late;
+  const bool too_short = late * 2 > consumed && consumed > 0;
+  const bool too_long =
+      consumed * 2 < issued;  // under half of issued lines get used
+  const std::int64_t old = lookahead_;
+  if (too_short)
+    lookahead_ += lookahead_ / 2;
+  else if (too_long)
+    lookahead_ -= lookahead_ / 3;
+  lookahead_ = std::clamp(lookahead_, cfg_.cmp_lookahead_min,
+                          cfg_.cmp_lookahead_max);
+  if (lookahead_ != old) ++distance_adaptations_;
+}
+
+Machine::~Machine() = default;
+
+OoOCore& Machine::route(const isa::Instruction& inst) {
+  if (main_) return *main_;
+  return inst.ann.stream == Stream::Compute ? *cp_ : *ap_;
+}
+
+bool Machine::done() const {
+  if (fetch_pos_ < trace_.size()) return false;
+  for (const auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()})
+    if (core != nullptr && !core->drained()) return false;
+  for (const auto& ctx : contexts_)
+    if (ctx.active) return false;
+  return true;
+}
+
+void Machine::fetch(std::uint64_t now) {
+  if (fetch_blocked_) {
+    if (pending_branch_pos_ >= 0 || now < fetch_resume_cycle_) {
+      ++fetch_stall_branch_cycles_;
+      return;
+    }
+    fetch_blocked_ = false;
+  }
+  for (int fetched = 0; fetched < cfg_.fetch_width; ++fetched) {
+    if (fetch_pos_ >= trace_.size()) return;
+    const sim::TraceEntry& e = trace_[fetch_pos_];
+    const isa::Instruction& inst = prog_.code[e.static_idx];
+
+    // Instruction-cache model: a fetch-block miss blocks the front end for
+    // the fill latency.
+    if (cfg_.model_icache) {
+      const std::uint64_t iaddr =
+          isa::kTextBase +
+          static_cast<std::uint64_t>(e.static_idx) * isa::kInstrBytes;
+      const std::uint64_t block =
+          iaddr / static_cast<std::uint64_t>(cfg_.mem.l1i.block_bytes);
+      if (block != last_fetch_block_) {
+        last_fetch_block_ = block;
+        const auto res = memsys_.fetch_access(iaddr, now);
+        if (res.latency > cfg_.mem.l1i.hit_latency) {
+          fetch_blocked_ = true;
+          pending_branch_pos_ = -1;
+          fetch_resume_cycle_ = now + static_cast<std::uint64_t>(res.latency);
+          return;
+        }
+      }
+    }
+
+    OoOCore& core = route(inst);
+    if (core.input_full()) {
+      ++fetch_stall_queue_full_;
+      return;
+    }
+
+    DynOp op;
+    op.trace_pos = static_cast<std::int64_t>(fetch_pos_);
+    op.static_idx = e.static_idx;
+    op.inst = &inst;
+    op.addr = e.addr;
+    op.next = e.next;
+    op.count_commit = true;
+
+    bool taken = false;
+    if (isa::is_control(inst.op) && inst.op != Opcode::HALT) {
+      taken = e.next != e.static_idx + 1;
+      switch (inst.op) {
+        case Opcode::J:
+          // Direct target, resolved at decode: no redirect cost modelled.
+          break;
+        case Opcode::JAL:
+          predictor_.push_ras(e.static_idx + 1);
+          break;
+        case Opcode::JALR:
+          predictor_.push_ras(e.static_idx + 1);
+          [[fallthrough]];
+        case Opcode::JR: {
+          const std::int32_t predicted =
+              inst.op == Opcode::JR ? predictor_.pop_ras() : -1;
+          op.mispredicted = predicted != e.next;
+          break;
+        }
+        default:  // conditional branches and BEOD
+          op.mispredicted = predictor_.update(e.static_idx, taken, e.next);
+          break;
+      }
+    }
+
+    const bool ok = core.enqueue(op);
+    (void)ok;  // input_full was checked above
+    ++fetch_pos_;
+
+    if (cmp_ && inst.ann.is_trigger)
+      fork_cmas(inst.ann.trigger_group, fetch_pos_);
+
+    if (op.mispredicted) {
+      pending_branch_pos_ = op.trace_pos;
+      fetch_blocked_ = true;
+      return;
+    }
+    if (taken) return;  // fetch discontinuity ends the fetch group
+  }
+}
+
+void Machine::fork_cmas(std::int16_t group, std::size_t fetch_pos) {
+  if (group < 0 ||
+      static_cast<std::size_t>(group) >= group_next_scan_.size())
+    return;
+  // Runtime range control (paper §6): a group whose prefetched lines are
+  // mostly evicted unused gets suppressed, with occasional re-probes so a
+  // phase change can reactivate it.
+  if (cfg_.cmp_adaptive_range) {
+    const auto& groups = memsys_.l1().prefetch_group_stats();
+    const auto it = groups.find(group);
+    if (it != groups.end()) {
+      // Judge only decided lines: demand-used vs evicted-before-use.
+      // Still-resident prefetches are pending, not evidence.
+      const auto decided = it->second.used + it->second.evicted_unused;
+      if (decided >= cfg_.cmp_range_min_samples) {
+        const double use = static_cast<double>(it->second.used) /
+                           static_cast<double>(decided);
+        if (use < cfg_.cmp_range_min_use &&
+            ++group_reprobe_[group] % cfg_.cmp_range_reprobe != 0) {
+          ++cmas_forks_suppressed_;
+          return;
+        }
+      }
+    }
+  }
+
+  CmpContext* free_ctx = nullptr;
+  for (auto& ctx : contexts_) {
+    if (ctx.active && ctx.group == group) {
+      ++cmas_forks_dropped_;  // slice already running: chained continuation
+      return;
+    }
+    if (!ctx.active && free_ctx == nullptr) free_ctx = &ctx;
+  }
+  if (free_ctx == nullptr) {
+    ++cmas_forks_dropped_;
+    return;
+  }
+  free_ctx->active = true;
+  free_ctx->group = group;
+  // Chaining resumes where the previous instance ended; the paper-mode
+  // fork hunts near the trigger distance, skipping anything the CMP
+  // missed while it was busy.  Serial (pointer-chase) slices always
+  // chain: a real CMP cannot leap over its own dependence chain.
+  const bool chain = cfg_.cmp_chaining || group_serial_[group];
+  const std::size_t anchor =
+      chain ? fetch_pos : fetch_pos + static_cast<std::size_t>(lookahead_);
+  free_ctx->scan_pos = std::max(anchor, group_next_scan_[group]);
+  free_ctx->targets_left = cfg_.cmp_targets_per_fork;
+  ++cmas_forks_;
+}
+
+void Machine::pump_cmp(std::uint64_t now) {
+  (void)now;
+  if (!cmp_) return;
+  for (auto& ctx : contexts_) {
+    if (!ctx.active) continue;
+    std::size_t scanned = 0;
+    while (scanned < kCmpScanBudget && !cmp_->input_full()) {
+      if (ctx.scan_pos >= trace_.size()) {
+        ctx.active = false;
+        group_next_scan_[ctx.group] = ctx.scan_pos;
+        break;
+      }
+      // Slip control: the CMP may not run further ahead of the front end
+      // than the SCQ-style bound allows.
+      if (ctx.scan_pos >= fetch_pos_ + static_cast<std::size_t>(
+                                           cfg_.cmp_max_runahead))
+        break;
+      const sim::TraceEntry& e = trace_[ctx.scan_pos];
+      const isa::Instruction& inst = prog_.code[e.static_idx];
+      ++ctx.scan_pos;
+      ++scanned;
+      if (!inst.ann.in_cmas || inst.ann.cmas_group != ctx.group) continue;
+
+      DynOp op;
+      op.trace_pos = static_cast<std::int64_t>(ctx.scan_pos) - 1;
+      op.static_idx = e.static_idx;
+      op.inst = &inst;
+      op.addr = e.addr;
+      op.next = e.next;
+      op.count_commit = false;
+      if (!cmp_->enqueue(op)) break;  // raced with input_full: retry later
+      ++cmas_uops_;
+
+      if (isa::is_load(inst.op) && --ctx.targets_left <= 0) {
+        ctx.active = false;
+        group_next_scan_[ctx.group] = ctx.scan_pos;
+        break;
+      }
+    }
+  }
+}
+
+Result Machine::run() {
+  std::uint64_t now = 0;
+  std::uint64_t last_progress_cycle = 0;
+  std::uint64_t last_progress_mark = ~0ull;
+
+  while (!done()) {
+    for (auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()})
+      if (core != nullptr) core->tick(now);
+
+    // Branch resolution unblocks the front end.
+    for (auto* core : {main_.get(), cp_.get(), ap_.get()}) {
+      if (core == nullptr) continue;
+      for (const auto& rb : core->take_resolved_branches()) {
+        if (rb.trace_pos == pending_branch_pos_) {
+          pending_branch_pos_ = -1;
+          fetch_resume_cycle_ =
+              rb.resolve_cycle + static_cast<std::uint64_t>(
+                                     cfg_.redirect_penalty);
+        }
+      }
+    }
+
+    fetch(now);
+    pump_cmp(now);
+    adapt_distance(now);
+
+    std::uint64_t mark = fetch_pos_ + cmas_uops_;
+    for (const auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()})
+      if (core != nullptr) mark += core->stats().committed_all;
+    if (mark != last_progress_mark) {
+      last_progress_mark = mark;
+      last_progress_cycle = now;
+    } else if (now - last_progress_cycle > cfg_.watchdog_cycles) {
+      throw std::runtime_error(
+          std::string("machine deadlock: no progress since cycle ") +
+          std::to_string(last_progress_cycle) + " (preset " +
+          preset_name(preset_) + ", fetched " + std::to_string(fetch_pos_) +
+          "/" + std::to_string(trace_.size()) + ")");
+    }
+    ++now;
+  }
+  return collect(now);
+}
+
+Result Machine::collect(std::uint64_t cycles) const {
+  Result r;
+  r.cycles = cycles;
+  r.l1 = memsys_.l1().stats();
+  r.l2 = memsys_.l2().stats();
+  r.branch = predictor_.stats();
+  if (main_) {
+    r.has_main = true;
+    r.main = main_->stats();
+    r.instructions += r.main.committed;
+  }
+  if (cp_) {
+    r.has_cp = true;
+    r.cp = cp_->stats();
+    r.instructions += r.cp.committed;
+  }
+  if (ap_) {
+    r.has_ap = true;
+    r.ap = ap_->stats();
+    r.instructions += r.ap.committed;
+  }
+  if (cmp_) {
+    r.has_cmp = true;
+    r.cmp = cmp_->stats();
+  }
+  r.ipc = cycles == 0 ? 0.0
+                      : static_cast<double>(r.instructions) /
+                            static_cast<double>(cycles);
+  r.ldq = ldq_.stats();
+  r.sdq = sdq_.stats();
+  r.scq = scq_.stats();
+  r.fetch_stall_branch_cycles = fetch_stall_branch_cycles_;
+  r.fetch_stall_queue_full = fetch_stall_queue_full_;
+  r.cmas_forks = cmas_forks_;
+  r.cmas_forks_dropped = cmas_forks_dropped_;
+  r.cmas_forks_suppressed = cmas_forks_suppressed_;
+  r.cmas_uops = cmas_uops_;
+  r.distance_adaptations = distance_adaptations_;
+  r.final_fork_lookahead = lookahead_;
+  return r;
+}
+
+Result run_machine(const isa::Program& prog, const sim::Trace& trace,
+                   Preset preset, const MachineConfig& cfg) {
+  Machine m(prog, trace, preset, cfg);
+  return m.run();
+}
+
+Result run_machine(const isa::Program& prog, Preset preset,
+                   const MachineConfig& cfg) {
+  sim::Functional func(prog);
+  const sim::Trace trace = func.run_trace();
+  return run_machine(prog, trace, preset, cfg);
+}
+
+}  // namespace hidisc::machine

@@ -1,0 +1,123 @@
+// The HiDISC timing machine (paper Figure 2) and its siblings.
+//
+// One `Machine` simulates a whole processor: a front end that fetches the
+// annotated binary along the (trace-resolved) dynamic path, predicts
+// branches, and routes instructions through the separator into per-core
+// instruction queues; one to three `OoOCore`s; the LDQ/SDQ/SCQ
+// architectural FIFOs; the shared L1D/L2/DRAM hierarchy; and the CMP fork
+// engine that launches CMAS slices when trigger instructions are fetched.
+//
+// Timing is cycle-by-cycle and lock-stepped across cores, so all cache
+// accesses — including CMP prefetches — interleave in true global time
+// order.  Functional behaviour is pre-resolved by the dynamic trace
+// (DESIGN.md §6), which the caller obtains from sim::Functional.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "machine/config.hpp"
+#include "machine/result.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/functional.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/core.hpp"
+#include "uarch/timed_fifo.hpp"
+
+namespace hidisc::machine {
+
+class Machine {
+ public:
+  // `prog` must outlive the machine and must be the binary matching the
+  // preset (separated for CP+AP / HiDISC — see uses_separated_binary).
+  // `trace` is the dynamic trace of exactly that binary.
+  Machine(const isa::Program& prog, const sim::Trace& trace, Preset preset,
+          const MachineConfig& cfg = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Runs to completion and returns the collected statistics.
+  // Throws std::runtime_error if the machine stops making progress.
+  [[nodiscard]] Result run();
+
+ private:
+  struct CmpContext {
+    bool active = false;
+    std::int16_t group = -1;
+    std::size_t scan_pos = 0;    // next trace index to scan for slice ops
+    int targets_left = 0;
+  };
+
+  void fetch(std::uint64_t now);
+  void pump_cmp(std::uint64_t now);
+  void fork_cmas(std::int16_t group, std::size_t fetch_pos);
+  [[nodiscard]] uarch::OoOCore& route(const isa::Instruction& inst);
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] Result collect(std::uint64_t cycles) const;
+
+  const isa::Program& prog_;
+  const sim::Trace& trace_;
+  Preset preset_;
+  MachineConfig cfg_;
+
+  mem::MemorySystem memsys_;
+  uarch::BimodalPredictor predictor_;
+  uarch::TimedFifo ldq_;
+  uarch::TimedFifo sdq_;
+  uarch::TimedFifo scq_;
+
+  // Core roster: main (superscalar-style) OR cp+ap, plus optional cmp.
+  std::unique_ptr<uarch::OoOCore> main_;
+  std::unique_ptr<uarch::OoOCore> cp_;
+  std::unique_ptr<uarch::OoOCore> ap_;
+  std::unique_ptr<uarch::OoOCore> cmp_;
+
+  // Front-end state.
+  std::size_t fetch_pos_ = 0;
+  bool fetch_blocked_ = false;
+  std::int64_t pending_branch_pos_ = -1;
+  std::uint64_t fetch_resume_cycle_ = 0;
+  std::uint64_t last_fetch_block_ = ~0ull;  // I-cache model
+
+  // CMP fork engine state.
+  std::vector<CmpContext> contexts_;
+  std::vector<std::size_t> group_next_scan_;
+  std::vector<std::uint64_t> group_reprobe_;  // adaptive-range counters
+  // Groups whose slice consumes its own loads (pointer chases): their
+  // instances must chain — jumping ahead would let the trace oracle skip a
+  // serial dependence no real CMP could skip.
+  std::vector<bool> group_serial_;
+
+  // Dynamic prefetch-distance control (paper §6 future work).
+  void adapt_distance(std::uint64_t now);
+  std::int64_t lookahead_ = 0;  // current fork distance
+  std::uint64_t next_adapt_cycle_ = 0;
+  std::uint64_t adapt_last_useful_ = 0;
+  std::uint64_t adapt_last_late_ = 0;
+  std::uint64_t adapt_last_issued_ = 0;
+
+  // Stats.
+  std::uint64_t fetch_stall_branch_cycles_ = 0;
+  std::uint64_t fetch_stall_queue_full_ = 0;
+  std::uint64_t cmas_forks_ = 0;
+  std::uint64_t cmas_forks_dropped_ = 0;
+  std::uint64_t cmas_forks_suppressed_ = 0;
+  std::uint64_t cmas_uops_ = 0;
+  std::uint64_t distance_adaptations_ = 0;
+};
+
+// Convenience wrapper: trace `prog` functionally, then run the machine.
+[[nodiscard]] Result run_machine(const isa::Program& prog, Preset preset,
+                                 const MachineConfig& cfg = {});
+
+// Runs a preset against a compilation, choosing the right binary.
+// Pre-computed traces may be supplied to amortize across presets.
+[[nodiscard]] Result run_machine(const isa::Program& prog,
+                                 const sim::Trace& trace, Preset preset,
+                                 const MachineConfig& cfg = {});
+
+}  // namespace hidisc::machine

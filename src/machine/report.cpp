@@ -1,0 +1,79 @@
+#include "machine/report.hpp"
+
+#include <sstream>
+
+#include "stats/table.hpp"
+
+namespace hidisc::machine {
+namespace {
+
+void core_section(std::ostringstream& out, const char* name,
+                  const uarch::CoreStats& s) {
+  out << "  " << name << ": committed " << s.committed_all << " (arch "
+      << s.committed << "), loads " << s.loads << ", stores " << s.stores
+      << ", forwarded " << s.forwarded_loads << "\n"
+      << "      stalls: window-full " << s.window_full_stalls
+      << ", queue-wait " << s.head_pop_empty_stalls << ", LOD "
+      << s.lod_stalls << ", push-blocked " << s.queue_full_commit_stalls
+      << "\n";
+}
+
+void fifo_section(std::ostringstream& out, const char* name,
+                  const uarch::FifoStats& s) {
+  out << "  " << name << ": " << s.pushes << " pushes / " << s.pops
+      << " pops, peak occupancy " << s.max_occupancy << ", empty-stall "
+      << s.empty_stall_cycles << " cy, full-stall " << s.full_stall_cycles
+      << " cy\n";
+}
+
+}  // namespace
+
+std::string render_report(const machine::Result& r) {
+  std::ostringstream out;
+  out << "== execution ==\n"
+      << "  cycles " << r.cycles << ", instructions " << r.instructions
+      << ", IPC " << stats::Table::num(r.ipc, 3) << "\n"
+      << "  fetch stalls: branch " << r.fetch_stall_branch_cycles
+      << " cy, queue-full " << r.fetch_stall_queue_full << " slots\n";
+
+  out << "== cores ==\n";
+  if (r.has_main) core_section(out, "main", r.main);
+  if (r.has_cp) core_section(out, "CP  ", r.cp);
+  if (r.has_ap) core_section(out, "AP  ", r.ap);
+  if (r.has_cmp) core_section(out, "CMP ", r.cmp);
+
+  out << "== memory ==\n"
+      << "  L1D: " << r.l1.demand_accesses() << " demand accesses, "
+      << r.l1.demand_misses() << " misses (rate "
+      << stats::Table::num(r.l1.demand_miss_rate(), 3) << "), " << r.l1.writebacks
+      << " writebacks\n"
+      << "  L1D prefetch: " << r.l1.prefetches << " issued, "
+      << r.l1.useful_prefetches << " timely, " << r.l1.late_fill_hits
+      << " late (in-flight, " << r.l1.late_prefetch_hits
+      << " from prefetches)\n"
+      << "  L2: " << r.l2.demand_accesses() << " accesses, "
+      << r.l2.demand_misses() << " misses (rate "
+      << stats::Table::num(r.l2.demand_miss_rate(), 3) << ")\n";
+
+  out << "== branches ==\n"
+      << "  " << r.branch.lookups << " conditional lookups, "
+      << r.branch.mispredicts << " mispredicts (rate "
+      << stats::Table::num(r.branch.mispredict_rate(), 3) << ")\n";
+
+  out << "== queues ==\n";
+  fifo_section(out, "LDQ", r.ldq);
+  fifo_section(out, "SDQ", r.sdq);
+  fifo_section(out, "SCQ", r.scq);
+
+  if (r.has_cmp) {
+    out << "== CMP ==\n"
+        << "  " << r.cmas_forks << " forks (" << r.cmas_forks_dropped
+        << " dropped), " << r.cmas_uops << " slice micro-ops\n";
+    if (r.distance_adaptations > 0)
+      out << "  dynamic distance: " << r.distance_adaptations
+          << " adjustments, final " << r.final_fork_lookahead << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hidisc::machine

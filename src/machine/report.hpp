@@ -1,0 +1,15 @@
+// Human-readable rendering of a full simulation Result (sim-outorder-style
+// statistics dump).  Used by `tools/hisa sim --verbose` and the examples.
+#pragma once
+
+#include <string>
+
+#include "machine/result.hpp"
+
+namespace hidisc::machine {
+
+// Multi-section text report: cycles/IPC, per-core activity, memory
+// hierarchy, branch prediction, queue traffic, CMP prefetching.
+[[nodiscard]] std::string render_report(const machine::Result& r);
+
+}  // namespace hidisc::machine

@@ -1,0 +1,45 @@
+// Aggregated results of one timing-simulation run.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/core.hpp"
+#include "uarch/timed_fifo.hpp"
+
+namespace hidisc::machine {
+
+struct Result {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;  // architecturally committed (no CMP ops)
+  double ipc = 0.0;
+
+  mem::CacheStats l1;
+  mem::CacheStats l2;
+  uarch::BranchStats branch;
+
+  // Core stats; presence depends on the preset.
+  bool has_main = false, has_cp = false, has_ap = false, has_cmp = false;
+  uarch::CoreStats main;  // superscalar core (Superscalar / CP+CMP presets)
+  uarch::CoreStats cp;
+  uarch::CoreStats ap;
+  uarch::CoreStats cmp;
+
+  uarch::FifoStats ldq, sdq, scq;
+
+  std::uint64_t fetch_stall_branch_cycles = 0;
+  std::uint64_t fetch_stall_queue_full = 0;  // fetch slots lost to full CIQ/AIQ
+  std::uint64_t cmas_forks = 0;
+  std::uint64_t cmas_forks_dropped = 0;  // no free CMP context
+  std::uint64_t cmas_forks_suppressed = 0;  // adaptive range control
+  std::uint64_t cmas_uops = 0;           // slice micro-ops fed to the CMP
+  std::uint64_t distance_adaptations = 0;  // dynamic-distance adjustments
+  std::int64_t final_fork_lookahead = 0;   // distance at end of run
+
+  [[nodiscard]] double l1_demand_miss_rate() const noexcept {
+    return l1.demand_miss_rate();
+  }
+};
+
+}  // namespace hidisc::machine

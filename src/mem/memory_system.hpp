@@ -1,0 +1,95 @@
+// Two-level data memory hierarchy: L1D -> unified L2 -> DRAM.
+//
+// Latencies default to the paper's Table 1 (L1 1 cycle, L2 12, DRAM 120).
+// `access` returns the number of cycles until the data is available,
+// accounting for fills still in flight (late prefetches).  A per-static-
+// instruction miss profile can be recorded for the HiDISC compiler's CMAS
+// selection (paper §4.2: "the CMAS is defined with the help of the cache
+// access profile").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hpp"
+
+namespace hidisc::mem {
+
+struct MemConfig {
+  CacheConfig l1{256, 32, 4, 1, "L1D"};
+  CacheConfig l1i{512, 32, 1, 1, "L1I"};  // SimpleScalar's il1 default
+  CacheConfig l2{1024, 64, 4, 12, "L2"};
+  int dram_latency = 120;
+  // Occupancy of the L1<->L2 bus per miss transaction, in cycles.  0
+  // disables contention modelling (infinite bandwidth, the default — the
+  // paper models latency only).  When enabled, CMP prefetch traffic
+  // competes with demand misses for the same bus.
+  int l2_bus_cycles = 0;
+
+  // The latency sweep of Figure 10 varies (L2, DRAM) through
+  // {4/40, 8/80, 12/120, 16/160}.
+  [[nodiscard]] static MemConfig with_latencies(int l2_lat, int dram_lat) {
+    MemConfig cfg;
+    cfg.l2.hit_latency = l2_lat;
+    cfg.dram_latency = dram_lat;
+    return cfg;
+  }
+};
+
+struct AccessResult {
+  int latency = 0;     // cycles until data available (>= L1 hit latency)
+  bool l1_hit = false;
+  bool l2_hit = false;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemConfig& cfg = MemConfig{});
+
+  // Performs a data access at cycle `now`.  `static_idx`, when >= 0,
+  // attributes an L1 demand miss to that static instruction in the profile.
+  AccessResult access(std::uint64_t addr, AccessType type, std::uint64_t now,
+                      std::int32_t static_idx = -1,
+                      std::int16_t pf_group = -1);
+
+  // Instruction fetch through the (direct-mapped) L1I and the shared L2.
+  // Returns the cycles until the fetch block is available.
+  AccessResult fetch_access(std::uint64_t addr, std::uint64_t now);
+
+  void reset();
+
+  [[nodiscard]] const Cache& l1() const noexcept { return l1_; }
+  [[nodiscard]] const Cache& l1i() const noexcept { return l1i_; }
+  [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
+  [[nodiscard]] const MemConfig& config() const noexcept { return cfg_; }
+
+  // Profile: static instruction index -> {accesses, L1 demand misses}.
+  struct ProfileEntry {
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] const std::unordered_map<std::int32_t, ProfileEntry>&
+  profile() const noexcept {
+    return profile_;
+  }
+
+  [[nodiscard]] std::uint64_t bus_busy_cycles() const noexcept {
+    return bus_busy_cycles_;
+  }
+
+ private:
+  // Claims the L1<->L2 bus at `now`; returns the transaction start cycle
+  // (== now when contention modelling is off).
+  [[nodiscard]] std::uint64_t claim_bus(std::uint64_t now);
+
+  MemConfig cfg_;
+  Cache l1_;
+  Cache l1i_;
+  Cache l2_;
+  std::uint64_t bus_free_ = 0;
+  std::uint64_t bus_busy_cycles_ = 0;
+  std::unordered_map<std::int32_t, ProfileEntry> profile_;
+};
+
+}  // namespace hidisc::mem

@@ -1,0 +1,94 @@
+// Functional (architectural) simulator for HISA.
+//
+// Executes a program sequentially and, optionally, records the dynamic
+// trace that drives the cycle-level machines (DESIGN.md §6: trace-driven
+// timing).  The simulator honours the decoupling annotation flags
+// (push_ldq/push_sdq) and the explicit queue opcodes, maintaining real
+// FIFO contents, so both original and compiler-separated binaries execute
+// to the same architectural result — the invariant the integration tests
+// enforce.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/memory.hpp"
+
+namespace hidisc::sim {
+
+// One retired dynamic instruction.  24 bytes; a few million entries is the
+// expected scale for the DIS workloads.
+struct TraceEntry {
+  std::int32_t static_idx = 0;  // index into Program::code
+  std::int32_t next = 0;        // index of the dynamically next instruction
+  std::uint64_t addr = 0;       // effective address for memory ops
+  std::int64_t value = 0;       // result (bit-cast for FP); stores: data
+};
+
+using Trace = std::vector<TraceEntry>;
+
+class ExecError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Functional {
+ public:
+  // The default step budget aborts runaway programs (e.g. a miscompiled
+  // benchmark looping forever) long before memory is exhausted.
+  static constexpr std::uint64_t kDefaultMaxSteps = 200'000'000;
+
+  explicit Functional(const isa::Program& prog);
+
+  // Runs until HALT.  Throws ExecError on bad programs (queue underflow,
+  // division by zero, step budget exceeded, pc out of range).
+  void run(std::uint64_t max_steps = kDefaultMaxSteps);
+
+  // Runs until HALT while recording the dynamic trace.
+  [[nodiscard]] Trace run_trace(std::uint64_t max_steps = kDefaultMaxSteps);
+
+  // Single step; returns false once halted.
+  bool step(TraceEntry* out = nullptr);
+
+  // Architectural state access ----------------------------------------------
+  [[nodiscard]] std::int64_t reg(int idx) const { return iregs_[idx]; }
+  [[nodiscard]] double freg(int idx) const { return fregs_[idx]; }
+  void set_reg(int idx, std::int64_t v) {
+    if (idx != 0) iregs_[idx] = v;
+  }
+  void set_freg(int idx, double v) { fregs_[idx] = v; }
+  [[nodiscard]] Memory& memory() noexcept { return mem_; }
+  [[nodiscard]] const Memory& memory() const noexcept { return mem_; }
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] std::uint64_t instructions() const noexcept { return icount_; }
+  [[nodiscard]] std::int32_t pc() const noexcept { return pc_; }
+
+  // Digest of registers + memory; equal digests across machine
+  // configurations certify identical architectural outcomes.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  struct QVal {
+    enum class Tag : std::uint8_t { Int, Fp, Eod } tag = Tag::Int;
+    std::int64_t bits = 0;
+  };
+
+  [[nodiscard]] QVal pop_queue(std::deque<QVal>& q, const char* name);
+
+  const isa::Program& prog_;
+  Memory mem_;
+  std::array<std::int64_t, isa::kNumIntRegs> iregs_{};
+  std::array<double, isa::kNumFpRegs> fregs_{};
+  std::deque<QVal> ldq_;
+  std::deque<QVal> sdq_;
+  std::int64_t scq_tokens_ = 0;
+  std::int32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t icount_ = 0;
+};
+
+}  // namespace hidisc::sim

@@ -1,0 +1,107 @@
+// Sparse byte-addressable main memory.
+//
+// Backs both the functional simulator (architectural state) and workload
+// data-set generators.  Pages are allocated on first touch; reads of
+// untouched memory return zero, matching a zero-initialized address space.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace hidisc::sim {
+
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+  static constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+  // Raw byte access ---------------------------------------------------------
+
+  [[nodiscard]] std::uint8_t read_u8(std::uint64_t addr) const {
+    const auto* page = find_page(addr);
+    return page ? (*page)[addr & kPageMask] : 0;
+  }
+
+  void write_u8(std::uint64_t addr, std::uint8_t v) {
+    touch_page(addr)[addr & kPageMask] = v;
+  }
+
+  // Little-endian typed access; handles page-crossing transfers.
+  template <typename T>
+  [[nodiscard]] T read(std::uint64_t addr) const {
+    T v{};
+    if ((addr & kPageMask) + sizeof(T) <= kPageSize) {
+      if (const auto* page = find_page(addr))
+        std::memcpy(&v, page->data() + (addr & kPageMask), sizeof(T));
+      return v;
+    }
+    std::uint8_t buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) buf[i] = read_u8(addr + i);
+    std::memcpy(&v, buf, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void write(std::uint64_t addr, T v) {
+    if ((addr & kPageMask) + sizeof(T) <= kPageSize) {
+      std::memcpy(touch_page(addr).data() + (addr & kPageMask), &v,
+                  sizeof(T));
+      return;
+    }
+    std::uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i) write_u8(addr + i, buf[i]);
+  }
+
+  // Bulk transfer used by program loading and workload generators.
+  void write_bytes(std::uint64_t addr, const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    for (std::size_t i = 0; i < n; ++i) write_u8(addr + i, p[i]);
+  }
+  void read_bytes(std::uint64_t addr, void* dst, std::size_t n) const {
+    auto* p = static_cast<std::uint8_t*>(dst);
+    for (std::size_t i = 0; i < n; ++i) p[i] = read_u8(addr + i);
+  }
+
+  // Content digest (FNV-1a over allocated pages, page-order independent via
+  // address mixing).  Equal memories produce equal digests; used by tests to
+  // compare architectural outcomes cheaply.
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t acc = 0;
+    for (const auto& [base, page] : pages_) {
+      std::uint64_t h = 1469598103934665603ull;
+      for (std::uint8_t b : *page) {
+        h ^= b;
+        h *= 1099511628211ull;
+      }
+      acc ^= h ^ (base * 0x9e3779b97f4a7c15ull);
+    }
+    return acc;
+  }
+
+  [[nodiscard]] std::size_t allocated_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+
+  [[nodiscard]] const Page* find_page(std::uint64_t addr) const {
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+  Page& touch_page(std::uint64_t addr) {
+    auto& slot = pages_[addr >> kPageBits];
+    if (!slot) slot = std::make_unique<Page>(kPageSize, std::uint8_t{0});
+    return *slot;
+  }
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace hidisc::sim

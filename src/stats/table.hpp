@@ -1,0 +1,31 @@
+// Plain-text table and CSV rendering for the benchmark harnesses.
+//
+// Every bench binary prints paper-style rows through this helper so the
+// Table/Figure reproductions share one consistent format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hidisc::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` digits after the point.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  // "+12.3%" style signed percentage.
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string to_string() const;  // aligned ASCII table
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hidisc::stats

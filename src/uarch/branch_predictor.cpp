@@ -1,0 +1,68 @@
+#include "uarch/branch_predictor.hpp"
+
+#include <stdexcept>
+
+namespace hidisc::uarch {
+
+BranchPredictor::BranchPredictor(int table_size, int btb_size, int ras_size,
+                                 PredictorKind kind)
+    : kind_(kind) {
+  if (table_size <= 0 || (table_size & (table_size - 1)) != 0)
+    throw std::invalid_argument("predictor table size must be a power of 2");
+  if (btb_size <= 0 || (btb_size & (btb_size - 1)) != 0)
+    throw std::invalid_argument("BTB size must be a power of 2");
+  counters_.assign(static_cast<std::size_t>(table_size), 2);  // weakly taken
+  btb_.assign(static_cast<std::size_t>(btb_size), BtbEntry{});
+  ras_.assign(static_cast<std::size_t>(ras_size), -1);
+}
+
+void BranchPredictor::reset() {
+  for (auto& c : counters_) c = 2;
+  for (auto& e : btb_) e = BtbEntry{};
+  for (auto& r : ras_) r = -1;
+  ras_top_ = 0;
+  history_ = 0;
+  stats_ = BranchStats{};
+}
+
+BranchPredictor::Prediction BranchPredictor::predict(
+    std::int32_t pc) const {
+  Prediction p;
+  p.taken = counters_[index(pc)] >= 2;
+  const auto& e = btb_[btb_index(pc)];
+  p.target = (e.pc == pc) ? e.target : -1;
+  return p;
+}
+
+bool BranchPredictor::update(std::int32_t pc, bool taken,
+                             std::int32_t target) {
+  ++stats_.lookups;
+  const Prediction p = predict(pc);
+  const bool dir_wrong = p.taken != taken;
+  // A taken prediction with a missing/stale BTB target also redirects.
+  const bool tgt_wrong = taken && (p.target != target);
+  auto& c = counters_[index(pc)];
+  if (taken) {
+    if (c < 3) ++c;
+  } else {
+    if (c > 0) --c;
+  }
+  if (taken) btb_[btb_index(pc)] = BtbEntry{pc, target};
+  history_ = (history_ << 1) | (taken ? 1u : 0u);
+  const bool mispredict = dir_wrong || tgt_wrong;
+  if (mispredict) ++stats_.mispredicts;
+  return mispredict;
+}
+
+void BranchPredictor::push_ras(std::int32_t return_pc) {
+  ras_[ras_top_] = return_pc;
+  ras_top_ = (ras_top_ + 1) % ras_.size();
+}
+
+std::int32_t BranchPredictor::pop_ras() {
+  ras_top_ = (ras_top_ + ras_.size() - 1) % ras_.size();
+  const std::int32_t v = ras_[ras_top_];
+  return v;
+}
+
+}  // namespace hidisc::uarch

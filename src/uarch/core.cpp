@@ -1,0 +1,394 @@
+#include "uarch/core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hidisc::uarch {
+
+using isa::OpClass;
+using isa::Opcode;
+
+OoOCore::OoOCore(const CoreConfig& cfg, mem::MemorySystem* memsys,
+                 Queues queues)
+    : cfg_(cfg),
+      memsys_(memsys),
+      queues_(queues),
+      last_writer_(isa::kNumArchRegs, 0),
+      int_alu_(cfg.int_alu),
+      int_muldiv_(cfg.int_muldiv),
+      fp_alu_(cfg.fp_alu),
+      fp_muldiv_(cfg.fp_muldiv),
+      mem_ports_(cfg.mem_ports) {
+  if (cfg.window <= 0 || cfg.issue_width <= 0 || cfg.commit_width <= 0)
+    throw std::invalid_argument(cfg.name + ": non-positive core geometry");
+}
+
+void OoOCore::reset() {
+  input_.clear();
+  window_.clear();
+  next_seq_ = base_seq_ = 1;
+  mem_ops_in_window_ = 0;
+  std::fill(last_writer_.begin(), last_writer_.end(), 0);
+  int_alu_.reset();
+  int_muldiv_.reset();
+  fp_alu_.reset();
+  fp_muldiv_.reset();
+  mem_ports_.reset();
+  prefetch_fills_.clear();
+  stats_ = CoreStats{};
+  resolved_.clear();
+}
+
+bool OoOCore::enqueue(const DynOp& op) {
+  if (input_full()) return false;
+  input_.push_back(op);
+  return true;
+}
+
+std::vector<ResolvedBranch> OoOCore::take_resolved_branches() {
+  auto out = std::move(resolved_);
+  resolved_.clear();
+  return out;
+}
+
+const OoOCore::Entry* OoOCore::find_by_seq(std::uint64_t seq) const {
+  if (seq < base_seq_) return nullptr;  // already committed
+  const auto idx = seq - base_seq_;
+  if (idx >= window_.size()) return nullptr;
+  return &window_[idx];
+}
+
+bool OoOCore::sources_ready(const Entry& e, std::uint64_t now) const {
+  for (const auto seq : e.src_seq) {
+    if (seq == 0) continue;
+    const Entry* p = find_by_seq(seq);
+    if (p == nullptr) continue;  // producer committed: value architectural
+    if (!completed(*p, now)) return false;
+  }
+  return true;
+}
+
+FuPool* OoOCore::pool_for(OpClass cls) {
+  switch (cls) {
+    case OpClass::IntAlu:
+    case OpClass::Branch:
+    case OpClass::Jump:
+      return &int_alu_;
+    case OpClass::IntMul:
+    case OpClass::IntDiv:
+      return &int_muldiv_;
+    case OpClass::FpAlu:
+      return &fp_alu_;
+    case OpClass::FpMul:
+    case OpClass::FpDiv:
+      return &fp_muldiv_;
+    case OpClass::Load:
+    case OpClass::Store:
+    case OpClass::Prefetch:
+      return &mem_ports_;
+    case OpClass::Queue:
+    case OpClass::Halt:
+    case OpClass::Nop:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void OoOCore::tick(std::uint64_t now) {
+  if (!window_.empty() || !input_.empty()) ++stats_.busy_cycles;
+  do_commit(now);
+  do_pushes(now);
+  do_issue(now);
+  do_dispatch(now);
+}
+
+// Queue writes drain at completion (writeback), in program order per queue
+// — the decoupled machines' whole point is that the consumer sees a value
+// as soon as it is produced, not when it retires.  An entry that has not
+// managed its write (queue full) blocks commit.
+void OoOCore::do_pushes(std::uint64_t now) {
+  bool ldq_blocked = false, sdq_blocked = false, scq_blocked = false;
+  for (auto& e : window_) {
+    if (e.push_queue == nullptr) continue;
+    bool* blocked = e.push_queue == queues_.ldq   ? &ldq_blocked
+                    : e.push_queue == queues_.sdq ? &sdq_blocked
+                                                  : &scq_blocked;
+    if (*blocked) continue;
+    if (e.pushed) continue;
+    if (!completed(e, now)) {  // younger writes to this queue must wait
+      *blocked = true;
+      continue;
+    }
+    TimedFifo::Entry qe;
+    // Value travels one cycle through the queue interconnect.
+    qe.ready = now + 1;
+    qe.producer_pos = e.op.trace_pos;
+    qe.eod = e.push_eod;
+    if (!e.push_queue->push(qe)) {
+      e.push_queue->note_full_stall();
+      *blocked = true;
+      continue;
+    }
+    e.pushed = true;
+  }
+}
+
+void OoOCore::do_commit(std::uint64_t now) {
+  int committed = 0;
+  while (!window_.empty() && committed < cfg_.commit_width) {
+    Entry& head = window_.front();
+    if (!completed(head, now)) break;
+    if (head.push_queue != nullptr && !head.pushed) {
+      ++stats_.queue_full_commit_stalls;
+      break;  // the queue write has not drained yet
+    }
+    if (head.is_load || head.is_store) --mem_ops_in_window_;
+    if (head.op.count_commit) ++stats_.committed;
+    ++stats_.committed_all;
+    window_.pop_front();
+    ++base_seq_;
+    ++committed;
+  }
+}
+
+void OoOCore::do_issue(std::uint64_t now) {
+  int issued = 0;
+  // Per-queue pop state for this cycle: pops must drain in program order
+  // (an older blocked pop blocks younger ones) and respect the per-cycle
+  // queue read bandwidth.
+  struct PopState {
+    bool order_blocked = false;
+    int pops = 0;
+  };
+  PopState ldq_state, sdq_state, scq_state;
+  bool saw_unissued = false;
+  for (auto& e : window_) {
+    if (issued >= cfg_.issue_width) break;
+    if (e.issued) continue;
+    const bool is_head = !saw_unissued;
+    saw_unissued = true;
+
+    if (!sources_ready(e, now)) continue;
+
+    if (e.needs_pop) {
+      PopState& ps = e.pop_queue == queues_.ldq   ? ldq_state
+                     : e.pop_queue == queues_.sdq ? sdq_state
+                                                  : scq_state;
+      if (ps.order_blocked || ps.pops >= cfg_.queue_pops_per_cycle) continue;
+      const auto* front = e.pop_queue->front_ready(now);
+      if (front == nullptr) {
+        ps.order_blocked = true;
+        if (is_head) {
+          ++stats_.head_pop_empty_stalls;
+          e.pop_queue->note_empty_stall();
+          // Waiting on the SDQ means the access side is blocked on a
+          // computation-side value: the paper's loss-of-decoupling event.
+          if (e.pop_queue == queues_.sdq) ++stats_.lod_stalls;
+        }
+        continue;
+      }
+      ++ps.pops;
+    }
+
+    // Memory disambiguation: a load may not pass an older overlapping
+    // store that has not yet written (8-byte granularity; addresses are
+    // exact, from the trace).
+    if (e.is_load && cfg_.has_lsu) {
+      bool wait = false;
+      bool forward = false;
+      for (const auto& older : window_) {
+        if (older.seq >= e.seq) break;
+        if (!older.is_store) continue;
+        const auto a0 = older.op.addr & ~7ull;
+        const auto a1 = e.op.addr & ~7ull;
+        if (a0 != a1) continue;
+        if (!completed(older, now)) {
+          wait = true;
+          break;
+        }
+        forward = true;  // most recent older overlapping store wins
+      }
+      if (wait) continue;
+      e.forwarded = forward;
+    }
+
+    // Fire-and-forget prefetch loads draw from a finite prefetch buffer.
+    if (e.is_load && cfg_.prefetch_only &&
+        !e.op.inst->ann.cmas_value_live) {
+      std::erase_if(prefetch_fills_,
+                    [now](std::uint64_t t) { return t <= now; });
+      if (prefetch_fills_.size() >=
+          static_cast<std::size_t>(cfg_.prefetch_buffer))
+        continue;
+    }
+
+    // Functional unit / memory port availability.
+    const OpClass cls = e.op.inst->info().cls;
+    FuPool* pool = pool_for(cls);
+    if (e.forwarded) pool = nullptr;  // store-to-load forward: no cache port
+    if (pool != nullptr) {
+      const bool unpipelined =
+          cls == OpClass::IntDiv || cls == OpClass::FpDiv;
+      const int busy = unpipelined ? e.op.inst->info().latency : 1;
+      if (!pool->acquire(now, busy)) continue;
+    }
+
+    issue_one(e, now);
+    ++issued;
+  }
+}
+
+void OoOCore::issue_one(Entry& e, std::uint64_t now) {
+  const isa::Instruction& inst = *e.op.inst;
+  const OpClass cls = inst.info().cls;
+
+  if (e.needs_pop) {
+    if (inst.op == Opcode::BEOD) {
+      // BEOD only consumes the head token when it is an EOD marker; a data
+      // value stays queued for the next POPLDQ (paper §3.1).
+      const auto* front = e.pop_queue->front_ready(now);
+      if (front != nullptr && front->eod) e.pop_queue->pop();
+    } else {
+      e.pop_queue->pop();
+    }
+  }
+
+  if (e.is_load) {
+    ++stats_.loads;
+    if (e.forwarded) {
+      ++stats_.forwarded_loads;
+      e.complete_cycle = now + 1;
+    } else {
+      const auto type = cfg_.prefetch_only ? mem::AccessType::Prefetch
+                                           : mem::AccessType::Read;
+      const auto group = cfg_.prefetch_only ? inst.ann.cmas_group
+                                            : std::int16_t{-1};
+      const auto res =
+          memsys_->access(e.op.addr, type, now, e.op.static_idx, group);
+      if (cfg_.prefetch_only && !inst.ann.cmas_value_live) {
+        // Fire-and-forget prefetch: nothing in the slice reads this value
+        // (compiler-proven), so the CMP retires it immediately while the
+        // fill completes in the background.  Pointer-chase slices, whose
+        // loads feed later slice instructions, keep the full latency.
+        e.complete_cycle = now + 1;
+        prefetch_fills_.push_back(
+            now + static_cast<std::uint64_t>(std::max(1, res.latency)));
+      } else {
+        e.complete_cycle = now + static_cast<std::uint64_t>(
+                                     std::max(1, res.latency));
+      }
+    }
+  } else if (e.is_store) {
+    ++stats_.stores;
+    // Stores drain into the write buffer; the cache access happens now.
+    memsys_->access(e.op.addr, mem::AccessType::Write, now, e.op.static_idx);
+    e.complete_cycle = now + 1;
+  } else if (cls == OpClass::Prefetch) {
+    memsys_->access(e.op.addr, mem::AccessType::Prefetch, now,
+                    e.op.static_idx);
+    e.complete_cycle = now + 1;
+  } else {
+    e.complete_cycle = now + static_cast<std::uint64_t>(inst.info().latency);
+  }
+
+  e.issued = true;
+
+  if (e.op.mispredicted)
+    resolved_.push_back({e.op.trace_pos, e.complete_cycle});
+}
+
+void OoOCore::do_dispatch(std::uint64_t now) {
+  (void)now;
+  int dispatched = 0;
+  while (!input_.empty() && dispatched < cfg_.dispatch_width) {
+    if (window_.size() >= static_cast<std::size_t>(cfg_.window)) {
+      ++stats_.window_full_stalls;
+      break;
+    }
+    const DynOp& op = input_.front();
+    const isa::Instruction& inst = *op.inst;
+    const isa::OpInfo& info = inst.info();
+    const OpClass cls = info.cls;
+
+    const bool is_load = cls == OpClass::Load;
+    const bool is_store = cls == OpClass::Store;
+    if ((is_load || is_store || cls == OpClass::Prefetch) && !cfg_.has_lsu)
+      throw std::logic_error(cfg_.name +
+                             ": memory op routed to core without LSU");
+    if (is_store && cfg_.prefetch_only)
+      throw std::logic_error(cfg_.name + ": store in a CMAS slice");
+    if ((info.is_fp_dst || info.is_fp_src) && cfg_.fp_alu == 0 &&
+        isa::is_fp_compute(inst.op))
+      throw std::logic_error(cfg_.name + ": FP op routed to non-FP core");
+    if ((is_load || is_store) && mem_ops_in_window_ >= cfg_.lsq) break;
+
+    Entry e;
+    e.op = op;
+    e.seq = next_seq_++;
+    e.is_load = is_load;
+    e.is_store = is_store;
+
+    // Register dependences.
+    int nsrc = 0;
+    if (info.reads_src1 && inst.src1.valid())
+      e.src_seq[nsrc++] = last_writer_[inst.src1.flat()];
+    if (info.reads_src2 && inst.src2.valid())
+      e.src_seq[nsrc++] = last_writer_[inst.src2.flat()];
+
+    // Queue roles.  A prefetch-only core (the CMP) executes copies of
+    // Access Stream instructions speculatively; it must never touch the
+    // architectural queues, so all queue roles are ignored there.
+    if (!cfg_.prefetch_only) queue_roles(inst, e);
+
+    // Rename: this entry becomes the live writer of its destination.
+    if (info.writes_dst && inst.dst.valid() &&
+        !(inst.dst.is_int() && inst.dst.idx == 0))
+      last_writer_[inst.dst.flat()] = e.seq;
+
+    if (is_load || is_store) ++mem_ops_in_window_;
+    window_.push_back(e);
+    input_.pop_front();
+    ++dispatched;
+  }
+}
+
+void OoOCore::queue_roles(const isa::Instruction& inst, Entry& e) {
+    switch (inst.op) {
+      case Opcode::POPLDQ: case Opcode::POPLDQF: case Opcode::BEOD:
+        e.needs_pop = true;
+        e.pop_queue = queues_.ldq;
+        break;
+      case Opcode::POPSDQ: case Opcode::POPSDQF:
+        e.needs_pop = true;
+        e.pop_queue = queues_.sdq;
+        break;
+      case Opcode::GETSCQ:
+        e.needs_pop = true;
+        e.pop_queue = queues_.scq;
+        break;
+      case Opcode::PUSHLDQ: case Opcode::PUSHLDQF:
+        e.push_queue = queues_.ldq;
+        break;
+      case Opcode::PUSHSDQ: case Opcode::PUSHSDQF:
+        e.push_queue = queues_.sdq;
+        break;
+      case Opcode::PUTEOD:
+        e.push_queue = queues_.ldq;
+        e.push_eod = true;
+        break;
+      case Opcode::PUTSCQ:
+        e.push_queue = queues_.scq;
+        break;
+      default: break;
+    }
+    // Annotation-driven pushes (compiler-separated binaries).
+    if (inst.ann.push_ldq) e.push_queue = queues_.ldq;
+    if (inst.ann.push_sdq) e.push_queue = queues_.sdq;
+    if (e.needs_pop && e.pop_queue == nullptr)
+      throw std::logic_error(cfg_.name + ": queue pop with no queue bound");
+    if (e.push_queue == nullptr &&
+        (inst.ann.push_ldq || inst.ann.push_sdq))
+      throw std::logic_error(cfg_.name + ": queue push with no queue bound");
+}
+
+}  // namespace hidisc::uarch

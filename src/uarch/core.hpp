@@ -1,0 +1,162 @@
+// RUU-style out-of-order core model (sim-outorder lineage).
+//
+// One `OoOCore` models any of the paper's processors: the 8-issue
+// superscalar baseline, the Computation Processor (window 16, FP units, no
+// load/store unit), the Access Processor (window 64, integer + LSU), or the
+// Cache Management Processor (integer + LSU, prefetch-only semantics).
+//
+// The core consumes `DynOp`s from its input instruction queue (the paper's
+// Computation / Access Instruction Queues), dispatches them in order into a
+// scheduling window, issues oldest-first when operands, functional units,
+// memory ports and architectural queues allow, and commits in order.
+// Producer-consumer timing between cores flows exclusively through
+// `TimedFifo`s, exactly like the paper's LDQ/SDQ/SCQ.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.hpp"
+#include "uarch/dyn_op.hpp"
+#include "uarch/fu_pool.hpp"
+#include "uarch/timed_fifo.hpp"
+
+namespace hidisc::uarch {
+
+struct CoreConfig {
+  std::string name = "core";
+  int window = 64;         // scheduling window (RUU) entries
+  int issue_width = 8;
+  int commit_width = 8;
+  int dispatch_width = 8;  // input queue -> window per cycle
+  int input_queue = 64;    // CIQ / AIQ / fetch-buffer capacity
+  int lsq = 32;            // max memory ops resident in the window
+  int int_alu = 4;
+  int int_muldiv = 1;
+  int fp_alu = 4;          // 0 => no FP capability
+  int fp_muldiv = 1;
+  int mem_ports = 2;
+  bool has_lsu = true;
+  bool prefetch_only = false;  // CMP: loads probe/fill caches only
+  // Architectural-queue read/write bandwidth per cycle.  The paper's
+  // machine names $LDQ as a register operand (Figure 6: "mul.d $f4, $LDQ,
+  // $LDQ" consumes two entries in one instruction), so several queue
+  // entries per cycle must be consumable.
+  int queue_pops_per_cycle = 4;
+  // Prefetch-only cores: cap on concurrent fire-and-forget fills (the
+  // precomputation engine's prefetch buffer, cf. DGP).  Bounds how much
+  // miss bandwidth the CMP can sustain.
+  int prefetch_buffer = 8;
+};
+
+struct CoreStats {
+  std::uint64_t committed = 0;      // architecturally counted commits
+  std::uint64_t committed_all = 0;  // including CMP slice micro-ops
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t forwarded_loads = 0;
+  std::uint64_t window_full_stalls = 0;
+  std::uint64_t queue_full_commit_stalls = 0;
+  std::uint64_t head_pop_empty_stalls = 0;  // oldest op waiting on empty FIFO
+  std::uint64_t lod_stalls = 0;  // oldest op waiting on SDQ: loss of decoupling
+  std::uint64_t busy_cycles = 0; // cycles with at least one op in flight
+};
+
+// A branch whose redirect the front end is waiting on.
+struct ResolvedBranch {
+  std::int64_t trace_pos = -1;
+  std::uint64_t resolve_cycle = 0;
+};
+
+class OoOCore {
+ public:
+  struct Queues {
+    TimedFifo* ldq = nullptr;
+    TimedFifo* sdq = nullptr;
+    TimedFifo* scq = nullptr;
+  };
+
+  OoOCore(const CoreConfig& cfg, mem::MemorySystem* memsys, Queues queues);
+
+  // Front-end interface -----------------------------------------------------
+  [[nodiscard]] bool input_full() const noexcept {
+    return input_.size() >= static_cast<std::size_t>(cfg_.input_queue);
+  }
+  // False (and no effect) when the input queue is full.
+  bool enqueue(const DynOp& op);
+
+  // Advances one cycle: commit, then issue, then dispatch.
+  void tick(std::uint64_t now);
+
+  // True when no work remains anywhere in the core.
+  [[nodiscard]] bool drained() const noexcept {
+    return input_.empty() && window_.empty();
+  }
+
+  // Mispredicted branches that reached resolution since the last call.
+  std::vector<ResolvedBranch> take_resolved_branches();
+
+  [[nodiscard]] const CoreConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t window_occupancy() const noexcept {
+    return window_.size();
+  }
+  void reset();
+
+ private:
+  struct Entry {
+    DynOp op;
+    std::uint64_t seq = 0;
+    // Producer tracking: seq of in-window producer (0 = value already
+    // available) per source operand.
+    std::uint64_t src_seq[2] = {0, 0};
+    bool needs_pop = false;
+    TimedFifo* pop_queue = nullptr;
+    TimedFifo* push_queue = nullptr;  // queue written at completion
+    bool push_eod = false;
+    bool pushed = false;  // queue write already performed
+    bool is_load = false;
+    bool is_store = false;
+    bool forwarded = false;   // load satisfied by an older in-window store
+    bool issued = false;
+    std::uint64_t complete_cycle = 0;
+  };
+
+  [[nodiscard]] const Entry* find_by_seq(std::uint64_t seq) const;
+  [[nodiscard]] bool sources_ready(const Entry& e, std::uint64_t now) const;
+  [[nodiscard]] bool completed(const Entry& e, std::uint64_t now) const {
+    return e.issued && e.complete_cycle <= now;
+  }
+  void do_commit(std::uint64_t now);
+  void do_pushes(std::uint64_t now);
+  void do_issue(std::uint64_t now);
+  void do_dispatch(std::uint64_t now);
+  void issue_one(Entry& e, std::uint64_t now);
+  void queue_roles(const isa::Instruction& inst, Entry& e);
+  [[nodiscard]] FuPool* pool_for(isa::OpClass cls);
+
+  CoreConfig cfg_;
+  mem::MemorySystem* memsys_;
+  Queues queues_;
+
+  std::deque<DynOp> input_;
+  std::deque<Entry> window_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t base_seq_ = 1;  // seq of window_.front()
+  int mem_ops_in_window_ = 0;
+
+  // Per architectural register: seq of the most recent in-flight writer
+  // (0 when the committed register file already holds the value).
+  std::vector<std::uint64_t> last_writer_;
+
+  FuPool int_alu_, int_muldiv_, fp_alu_, fp_muldiv_, mem_ports_;
+  // Completion times of in-flight fire-and-forget prefetch fills
+  // (prefetch-only cores); bounded by cfg_.prefetch_buffer.
+  std::vector<std::uint64_t> prefetch_fills_;
+  CoreStats stats_;
+  std::vector<ResolvedBranch> resolved_;
+};
+
+}  // namespace hidisc::uarch

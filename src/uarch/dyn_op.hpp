@@ -1,0 +1,20 @@
+// A dynamic operation in flight: one trace entry bound for a core.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace hidisc::uarch {
+
+struct DynOp {
+  std::int64_t trace_pos = -1;       // position in the dynamic trace
+  std::int32_t static_idx = -1;      // index into the program
+  const isa::Instruction* inst = nullptr;
+  std::uint64_t addr = 0;            // effective address (memory ops)
+  std::int32_t next = -1;            // dynamically next static index
+  bool mispredicted = false;         // front end flagged a redirect on this
+  bool count_commit = true;          // false for CMP slice micro-ops
+};
+
+}  // namespace hidisc::uarch

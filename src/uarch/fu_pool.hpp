@@ -1,0 +1,49 @@
+// Functional-unit pools.
+//
+// Table 1: 4 integer ALUs + 1 integer MUL/DIV per processor; 4 FP adders +
+// 1 FP MUL/DIV on the superscalar and the CP.  ALU/FP-add/FP-mul units are
+// pipelined (busy one cycle per issue); divide units are unpipelined (busy
+// for the whole operation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hidisc::uarch {
+
+class FuPool {
+ public:
+  FuPool() = default;
+  explicit FuPool(int units) : next_free_(static_cast<std::size_t>(units), 0) {}
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(next_free_.size());
+  }
+
+  // True if some unit can accept an operation this cycle.
+  [[nodiscard]] bool available(std::uint64_t now) const noexcept {
+    for (const auto t : next_free_)
+      if (t <= now) return true;
+    return false;
+  }
+
+  // Claims a unit for `busy` cycles; returns false when none is free.
+  bool acquire(std::uint64_t now, int busy) noexcept {
+    for (auto& t : next_free_) {
+      if (t <= now) {
+        t = now + static_cast<std::uint64_t>(busy);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void reset() noexcept {
+    for (auto& t : next_free_) t = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> next_free_;
+};
+
+}  // namespace hidisc::uarch

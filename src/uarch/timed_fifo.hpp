@@ -1,0 +1,81 @@
+// Timed architectural FIFO used for the LDQ, SDQ and SCQ (paper §3.2).
+//
+// Entries carry the cycle at which their data becomes visible to the
+// consumer and the trace position of the producing instruction (used by the
+// machines to assert the compiler's push/pop pairing).  Capacity models the
+// paper's 32-entry queues; producers stall at commit when the queue is
+// full, consumers stall at issue when it is empty — those two stalls are
+// what bound the slip distance.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace hidisc::uarch {
+
+struct FifoStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t full_stall_cycles = 0;   // producer wanted to push, was full
+  std::uint64_t empty_stall_cycles = 0;  // consumer wanted to pop, was empty
+  std::size_t max_occupancy = 0;
+};
+
+class TimedFifo {
+ public:
+  struct Entry {
+    std::uint64_t ready = 0;        // cycle the value is consumable
+    std::int64_t producer_pos = -1; // trace position of the producer
+    bool eod = false;               // End-Of-Data token (paper §3.1)
+  };
+
+  TimedFifo(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return q_.size() >= capacity_; }
+
+  bool push(Entry e) {
+    if (full()) return false;
+    q_.push_back(e);
+    ++stats_.pushes;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, q_.size());
+    return true;
+  }
+
+  // The head entry if its data is consumable at `now`.
+  [[nodiscard]] const Entry* front_ready(std::uint64_t now) const {
+    if (q_.empty() || q_.front().ready > now) return nullptr;
+    return &q_.front();
+  }
+
+  Entry pop() {
+    Entry e = q_.front();
+    q_.pop_front();
+    ++stats_.pops;
+    return e;
+  }
+
+  void note_full_stall() noexcept { ++stats_.full_stall_cycles; }
+  void note_empty_stall() noexcept { ++stats_.empty_stall_cycles; }
+
+  [[nodiscard]] const FifoStats& stats() const noexcept { return stats_; }
+
+  void reset() {
+    q_.clear();
+    stats_ = FifoStats{};
+  }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<Entry> q_;
+  FifoStats stats_;
+};
+
+}  // namespace hidisc::uarch

@@ -1,0 +1,125 @@
+// Shared infrastructure for the DIS benchmark / Stressmark workloads.
+//
+// Each workload builds: (1) a data segment synthesized in C++ from a
+// deterministic RNG, (2) a HISA assembly kernel whose constants (sizes,
+// addresses) are formatted into the source text, and (3) a golden C++
+// reference whose results the validator compares against the simulator's
+// architectural state.  DESIGN.md §2 documents how these kernels stand in
+// for the original (no longer distributed) Atlantic Aerospace suites.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/functional.hpp"
+
+namespace hidisc::workloads {
+
+// Deterministic 64-bit RNG (splitmix64): workloads must be reproducible
+// across platforms, so no <random> engines.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  // Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+  double unit() {  // [0,1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Append-only data-segment builder; returns absolute addresses.
+class DataBuilder {
+ public:
+  explicit DataBuilder(std::uint64_t base = isa::kDataBase) : base_(base) {}
+
+  std::uint64_t align(std::size_t a) {
+    while (bytes_.size() % a != 0) bytes_.push_back(0);
+    return here();
+  }
+  [[nodiscard]] std::uint64_t here() const {
+    return base_ + bytes_.size();
+  }
+  std::uint64_t add_u64(std::uint64_t v) { return add(&v, 8); }
+  std::uint64_t add_u32(std::uint32_t v) { return add(&v, 4); }
+  std::uint64_t add_u16(std::uint16_t v) { return add(&v, 2); }
+  std::uint64_t add_u8(std::uint8_t v) { return add(&v, 1); }
+  std::uint64_t add_f64(double v) { return add(&v, 8); }
+  std::uint64_t add_zeros(std::size_t n) {
+    const auto addr = here();
+    bytes_.insert(bytes_.end(), n, 0);
+    return addr;
+  }
+
+  // Installs the built image into `prog` and registers `labels`.
+  void finish(isa::Program& prog,
+              const std::vector<std::pair<std::string, std::uint64_t>>&
+                  labels = {}) {
+    prog.data = bytes_;
+    prog.data_base = base_;
+    for (const auto& [name, addr] : labels) prog.data_labels[name] = addr;
+  }
+
+ private:
+  std::uint64_t add(const void* src, std::size_t n) {
+    const auto addr = here();
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    bytes_.insert(bytes_.end(), p, p + n);
+    return addr;
+  }
+
+  std::uint64_t base_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+// A fully built workload: program plus golden validation.
+struct BuiltWorkload {
+  std::string name;
+  std::string description;
+  isa::Program program;
+  // Runs after simulation; true when the architectural state matches the
+  // golden reference.
+  std::function<bool(const sim::Functional&)> validate;
+  std::uint64_t approx_dynamic_instructions = 0;  // informational
+};
+
+// Scaling presets: Test keeps unit tests fast; Paper drives the benches.
+enum class Scale { Test, Paper };
+
+BuiltWorkload make_pointer(Scale scale, std::uint64_t seed = 1);
+BuiltWorkload make_update(Scale scale, std::uint64_t seed = 2);
+BuiltWorkload make_field(Scale scale, std::uint64_t seed = 3);
+BuiltWorkload make_neighborhood(Scale scale, std::uint64_t seed = 4);
+BuiltWorkload make_transitive(Scale scale, std::uint64_t seed = 5);
+BuiltWorkload make_dm(Scale scale, std::uint64_t seed = 6);
+BuiltWorkload make_raytrace(Scale scale, std::uint64_t seed = 7);
+
+// The remaining two DIS Stressmarks the paper's Figure 8 does not plot;
+// implemented for completeness of the suite.
+BuiltWorkload make_matrix(Scale scale, std::uint64_t seed = 8);
+BuiltWorkload make_cornerturn(Scale scale, std::uint64_t seed = 9);
+// Two further DIS application kernels (multidimensional Fourier transform
+// and image understanding), likewise beyond the paper's plots.
+BuiltWorkload make_fft(Scale scale, std::uint64_t seed = 10);
+BuiltWorkload make_image(Scale scale, std::uint64_t seed = 11);
+
+// The seven benchmarks of the paper's Figure 8, in plot order:
+// DM, RayTray, Pointer, Update, Field, NB (Neighborhood), TC.
+std::vector<BuiltWorkload> paper_suite(Scale scale = Scale::Paper);
+
+// Matrix + Corner Turn + FFT + Image: the rest of the DIS suites.
+std::vector<BuiltWorkload> extra_suite(Scale scale = Scale::Paper);
+
+}  // namespace hidisc::workloads

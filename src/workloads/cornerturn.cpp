@@ -1,0 +1,100 @@
+// DIS "Corner Turn" Stressmark: an out-of-place matrix transpose
+// (out[j][i] = in[i][j]) — row-major reads against column-major writes,
+// the classic cache-geometry stress.  Row reads are perfectly strided
+// (prefetchable); column writes conflict in the cache sets.  Pure integer:
+// the computation stream is empty and all behaviour is access-side — like
+// Transitive Closure, a benchmark where only the CMP can help.  Not part
+// of the paper's Figure 8 plot; included for completeness of the DIS
+// Stressmark suite.
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t n;  // square matrix side
+};
+
+Params params_for(Scale scale) {
+  return scale == Scale::Paper ? Params{384} : Params{32};
+}
+
+}  // namespace
+
+BuiltWorkload make_cornerturn(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0xc0c0 + 3);
+
+  std::vector<std::uint64_t> in(p.n * p.n);
+  for (auto& v : in) v = rng.next();
+
+  DataBuilder db;
+  const std::uint64_t in_addr = db.align(8);
+  for (const auto v : in) db.add_u64(v);
+  const std::uint64_t out_addr = db.align(8);
+  db.add_zeros(p.n * p.n * 8);
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(8);
+
+  // Golden transpose + fold checksum.
+  std::vector<std::uint64_t> golden(p.n * p.n);
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < p.n; ++i)
+    for (std::uint64_t j = 0; j < p.n; ++j) {
+      const auto v = in[i * p.n + j];
+      golden[j * p.n + i] = v;
+      checksum ^= v + j;
+    }
+
+  const std::uint64_t row_bytes = p.n * 8;
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r4, )" << in_addr << R"(     # read cursor (row-major)
+  li   r5, )" << p.n << R"(         # n
+  li   r6, )" << row_bytes << R"(   # output column stride
+  li   r7, 0                        # i
+  li   r15, 0                       # checksum
+iloop:
+  li   r8, 0                        # j
+  slli r9, r7, 3
+  addi r10, r9, )" << out_addr << R"(  # &out[0][i]
+jloop:
+  ld   r11, 0(r4)                   # in[i][j]
+  sd   r11, 0(r10)                  # out[j][i]
+  add  r12, r11, r8
+  xor  r15, r15, r12                # fold checksum
+  addi r4, r4, 8
+  add  r10, r10, r6
+  addi r8, r8, 1
+  bne  r8, r5, jloop
+  addi r7, r7, 1
+  bne  r7, r5, iloop
+  li   r13, )" << res_addr << R"(
+  sd   r15, 0(r13)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "CornerTurn";
+  out.description = "out-of-place matrix transpose (DIS Corner Turn)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"in", in_addr}, {"out", out_addr},
+                          {"result", res_addr}});
+  out.approx_dynamic_instructions = p.n * p.n * 9;
+  out.validate = [res_addr, out_addr, checksum, golden,
+                  n = p.n](const sim::Functional& f) {
+    if (f.memory().read<std::uint64_t>(res_addr) != checksum) return false;
+    const std::uint64_t stride = n > 64 ? 53 : 1;
+    for (std::uint64_t k = 0; k < golden.size(); k += stride)
+      if (f.memory().read<std::uint64_t>(out_addr + k * 8) != golden[k])
+        return false;
+    return true;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

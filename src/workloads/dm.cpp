@@ -1,0 +1,188 @@
+// DIS "Data Management" benchmark kernel: the probe loop of an in-memory
+// open-addressing hash index (the dominant operation of the DIS database
+// application).  The operation cursor advances by a stride derived from
+// the previous probe's outcome — the dependent-lookup pattern of database
+// navigation — so neither the baseline's window nor the CMP can run ahead
+// of the memory round trips; gains come only from executing less code per
+// operation.  Every eighth operation inserts a fresh record.
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t slots;    // power of two
+  std::uint64_t fill;     // pre-inserted records
+  std::uint64_t queries;
+};
+
+Params params_for(Scale scale) {
+  return scale == Scale::Paper ? Params{1u << 15, 1u << 14, 40'000}
+                               : Params{1u << 10, 1u << 9, 1'200};
+}
+
+constexpr std::uint64_t kHashMul = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
+
+BuiltWorkload make_dm(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0x10001 + 5);
+  const std::uint64_t mask = p.slots - 1;
+
+  // Table of 16-byte records {key, value}; key 0 marks an empty slot.
+  std::vector<std::uint64_t> keys(p.slots, 0), vals(p.slots, 0);
+  std::vector<std::uint64_t> inserted;
+  inserted.reserve(p.fill);
+  auto insert = [&](std::uint64_t key, std::uint64_t value) {
+    std::uint64_t h = (key * kHashMul) & mask;
+    while (keys[h] != 0) h = (h + 1) & mask;
+    keys[h] = key;
+    vals[h] = value;
+  };
+  for (std::uint64_t i = 0; i < p.fill; ++i) {
+    const std::uint64_t key = rng.next() | 1;  // nonzero
+    insert(key, key ^ kHashMul);
+    inserted.push_back(key);
+  }
+
+  // Operation stream: 70% present keys, 30% absent; every 8th op inserts.
+  // The kernel walks this stream with a data-dependent stride (16..64
+  // bytes), so over-provision it by 4x.
+  struct Op {
+    std::uint64_t key;
+    bool is_insert;
+  };
+  std::vector<Op> ops;
+  ops.reserve(p.queries * 4);
+  for (std::uint64_t q = 0; q < p.queries * 4; ++q) {
+    if (q % 8 == 7) {
+      ops.push_back({rng.next() | 1, true});
+    } else if (rng.below(10) < 7) {
+      ops.push_back({inserted[rng.below(inserted.size())], false});
+    } else {
+      ops.push_back({rng.next() | 1, false});
+    }
+  }
+
+  DataBuilder db;
+  const std::uint64_t table_addr = db.align(8);
+  for (std::uint64_t i = 0; i < p.slots; ++i) {
+    db.add_u64(keys[i]);
+    db.add_u64(vals[i]);
+  }
+  const std::uint64_t ops_addr = db.align(8);
+  for (const auto& op : ops) {
+    db.add_u64(op.key);
+    db.add_u64(op.is_insert ? 1 : 0);
+  }
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(2 * 8);
+
+  // Golden reference: replays the same walk, including the dependent
+  // stride (last probed stored-key selects the next hop distance).
+  std::uint64_t sum = 0, found = 0;
+  {
+    std::vector<std::uint64_t> k2 = keys, v2 = vals;
+    std::uint64_t cursor = 0;       // byte offset into the op stream
+    std::uint64_t last_probe = 0;   // stored key seen by the last probe
+    for (std::uint64_t q = 0; q < p.queries; ++q) {
+      const auto& op = ops[cursor / 16];
+      std::uint64_t h = (op.key * kHashMul) & mask;
+      if (op.is_insert) {
+        while (k2[h] != 0) h = (h + 1) & mask;
+        k2[h] = op.key;
+        v2[h] = op.key ^ kHashMul;
+        last_probe = 0;
+      } else {
+        while (true) {
+          last_probe = k2[h];
+          if (k2[h] == op.key) {
+            sum += v2[h];
+            ++found;
+            break;
+          }
+          if (k2[h] == 0) break;
+          h = (h + 1) & mask;
+        }
+      }
+      cursor += 16 + (last_probe & 3) * 16;
+    }
+  }
+
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r4, )" << table_addr << R"(   # table base
+  li   r5, )" << ops_addr << R"(     # op stream cursor
+  li   r6, )" << p.queries << R"(    # ops remaining
+  li   r7, )" << mask << R"(         # slot mask
+  li   r8, )" << kHashMul << R"(     # hash multiplier
+  li   r9, 0                         # value sum
+  li   r20, 0                        # found count
+  li   r21, 0                        # last probed stored key
+oploop:
+  ld   r10, 0(r5)                    # key
+  ld   r11, 8(r5)                    # insert flag
+  mul  r12, r10, r8
+  and  r12, r12, r7                  # h
+  bne  r11, r0, insert
+probe:
+  slli r13, r12, 4
+  add  r13, r13, r4                  # &table[h]
+  ld   r14, 0(r13)                   # stored key
+  mv   r21, r14                      # remember for the cursor stride
+  beq  r14, r10, hit
+  beq  r14, r0, next                 # empty: absent
+  addi r12, r12, 1
+  and  r12, r12, r7
+  j    probe
+hit:
+  ld   r15, 8(r13)                   # value
+  add  r9, r9, r15
+  addi r20, r20, 1
+  j    next
+insert:
+  li   r21, 0
+  slli r13, r12, 4
+  add  r13, r13, r4
+  ld   r14, 0(r13)
+  beq  r14, r0, doins
+  addi r12, r12, 1
+  and  r12, r12, r7
+  j    insert
+doins:
+  sd   r10, 0(r13)                   # key
+  xor  r16, r10, r8
+  sd   r16, 8(r13)                   # value = key ^ mul
+next:
+  andi r22, r21, 3                   # dependent stride: 16..64 bytes
+  slli r22, r22, 4
+  addi r22, r22, 16
+  add  r5, r5, r22
+  addi r6, r6, -1
+  bne  r6, r0, oploop
+  li   r17, )" << res_addr << R"(
+  sd   r9, 0(r17)
+  sd   r20, 8(r17)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "DM";
+  out.description =
+      "hash-index probe/insert loop with dependent op cursor (DIS DM)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"table", table_addr}, {"result", res_addr}});
+  out.approx_dynamic_instructions = p.queries * 20;
+  out.validate = [res_addr, sum, found](const sim::Functional& f) {
+    return f.memory().read<std::uint64_t>(res_addr) == sum &&
+           f.memory().read<std::uint64_t>(res_addr + 8) == found;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

@@ -1,0 +1,192 @@
+// DIS "Multidimensional Fourier Transform" application kernel: an
+// iterative radix-2 complex FFT.  The bit-reversal permutation is the
+// data-intensive shuffle (table-driven swaps, all access-side); the
+// butterfly stages mix strided loads with FP multiply-adds (twiddle
+// factors precomputed into the data segment).  Golden reference executes
+// the identical operation order, so the spectra compare bit-exactly.
+#include <cmath>
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t n;  // power of two
+};
+
+Params params_for(Scale scale) {
+  return scale == Scale::Paper ? Params{4096} : Params{256};
+}
+
+std::uint64_t bit_reverse(std::uint64_t v, int bits) {
+  std::uint64_t r = 0;
+  for (int b = 0; b < bits; ++b) r |= ((v >> b) & 1) << (bits - 1 - b);
+  return r;
+}
+
+}  // namespace
+
+BuiltWorkload make_fft(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0xff7 + 31);
+  int bits = 0;
+  while ((1ull << bits) < p.n) ++bits;
+
+  std::vector<double> re(p.n), im(p.n);
+  for (auto& v : re) v = rng.unit() - 0.5;
+  for (auto& v : im) v = rng.unit() - 0.5;
+  std::vector<std::uint64_t> rev(p.n);
+  for (std::uint64_t i = 0; i < p.n; ++i) rev[i] = bit_reverse(i, bits);
+  std::vector<double> tw_re(p.n / 2), tw_im(p.n / 2);
+  for (std::uint64_t k = 0; k < p.n / 2; ++k) {
+    const double ang = -2.0 * 3.14159265358979323846 *
+                       static_cast<double>(k) / static_cast<double>(p.n);
+    tw_re[k] = std::cos(ang);
+    tw_im[k] = std::sin(ang);
+  }
+
+  DataBuilder db;
+  const std::uint64_t re_addr = db.align(8);
+  for (const auto v : re) db.add_f64(v);
+  const std::uint64_t im_addr = db.align(8);
+  for (const auto v : im) db.add_f64(v);
+  const std::uint64_t rev_addr = db.align(8);
+  for (const auto v : rev) db.add_u64(v);
+  const std::uint64_t twr_addr = db.align(8);
+  for (const auto v : tw_re) db.add_f64(v);
+  const std::uint64_t twi_addr = db.align(8);
+  for (const auto v : tw_im) db.add_f64(v);
+
+  // Golden FFT, operation-for-operation identical to the kernel.
+  std::vector<double> gr = re, gi = im;
+  for (std::uint64_t i = 0; i < p.n; ++i) {
+    const auto j = rev[i];
+    if (i < j) {
+      std::swap(gr[i], gr[j]);
+      std::swap(gi[i], gi[j]);
+    }
+  }
+  for (std::uint64_t len = 2; len <= p.n; len <<= 1) {
+    const std::uint64_t half = len / 2;
+    const std::uint64_t step = p.n / len;
+    for (std::uint64_t base = 0; base < p.n; base += len) {
+      for (std::uint64_t k = 0; k < half; ++k) {
+        const double wr = tw_re[k * step], wi = tw_im[k * step];
+        const std::uint64_t a = base + k, b = base + k + half;
+        const double tr = gr[b] * wr - gi[b] * wi;
+        const double ti = gr[b] * wi + gi[b] * wr;
+        gr[b] = gr[a] - tr;
+        gi[b] = gi[a] - ti;
+        gr[a] = gr[a] + tr;
+        gi[a] = gi[a] + ti;
+      }
+    }
+  }
+
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  # ---- bit-reversal permutation ----
+  li   r4, )" << rev_addr << R"(
+  li   r5, )" << p.n << R"(
+  li   r6, 0                          # i
+bitrev:
+  slli r7, r6, 3
+  add  r8, r7, r4
+  ld   r9, 0(r8)                      # j = rev[i]
+  bge  r6, r9, norev                  # swap only when i < j
+  slli r10, r9, 3
+  li   r11, )" << re_addr << R"(
+  add  r12, r11, r7                   # &re[i]
+  add  r13, r11, r10                  # &re[j]
+  fld  f1, 0(r12)
+  fld  f2, 0(r13)
+  fsd  f2, 0(r12)
+  fsd  f1, 0(r13)
+  li   r11, )" << im_addr << R"(
+  add  r12, r11, r7
+  add  r13, r11, r10
+  fld  f1, 0(r12)
+  fld  f2, 0(r13)
+  fsd  f2, 0(r12)
+  fsd  f1, 0(r13)
+norev:
+  addi r6, r6, 1
+  bne  r6, r5, bitrev
+  # ---- butterfly stages ----
+  li   r14, 2                         # len
+stage:
+  srli r15, r14, 1                    # half
+  li   r16, )" << p.n << R"(
+  div  r17, r16, r14                  # twiddle step
+  li   r18, 0                         # base
+block:
+  li   r19, 0                         # k
+bfly:
+  mul  r20, r19, r17                  # twiddle index
+  slli r20, r20, 3
+  li   r21, )" << twr_addr << R"(
+  add  r21, r21, r20
+  fld  f3, 0(r21)                     # wr
+  li   r21, )" << twi_addr << R"(
+  add  r21, r21, r20
+  fld  f4, 0(r21)                     # wi
+  add  r22, r18, r19                  # a
+  add  r23, r22, r15                  # b
+  slli r24, r22, 3
+  slli r25, r23, 3
+  li   r26, )" << re_addr << R"(
+  li   r27, )" << im_addr << R"(
+  add  r10, r26, r25
+  fld  f5, 0(r10)                     # re[b]
+  add  r11, r27, r25
+  fld  f6, 0(r11)                     # im[b]
+  fmul f7, f5, f3
+  fmul f8, f6, f4
+  fsub f9, f7, f8                     # tr
+  fmul f7, f5, f4
+  fmul f8, f6, f3
+  fadd f10, f7, f8                    # ti
+  add  r12, r26, r24
+  fld  f11, 0(r12)                    # re[a]
+  add  r13, r27, r24
+  fld  f12, 0(r13)                    # im[a]
+  fsub f13, f11, f9
+  fsd  f13, 0(r10)                    # re[b] = re[a] - tr
+  fsub f14, f12, f10
+  fsd  f14, 0(r11)                    # im[b] = im[a] - ti
+  fadd f15, f11, f9
+  fsd  f15, 0(r12)                    # re[a] += tr
+  fadd f16, f12, f10
+  fsd  f16, 0(r13)                    # im[a] += ti
+  addi r19, r19, 1
+  bne  r19, r15, bfly
+  add  r18, r18, r14                  # base += len
+  bne  r18, r16, block
+  slli r14, r14, 1                    # len <<= 1
+  bge  r16, r14, stage
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "FFT";
+  out.description = "radix-2 complex FFT (DIS multidimensional FT kernel)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"re", re_addr}, {"im", im_addr}});
+  out.approx_dynamic_instructions =
+      p.n * static_cast<std::uint64_t>(bits) * 20;
+  out.validate = [re_addr, im_addr, gr, gi](const sim::Functional& f) {
+    const std::uint64_t stride = gr.size() > 1024 ? 19 : 1;
+    for (std::uint64_t i = 0; i < gr.size(); i += stride) {
+      if (f.memory().read<double>(re_addr + i * 8) != gr[i]) return false;
+      if (f.memory().read<double>(im_addr + i * 8) != gi[i]) return false;
+    }
+    return true;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

@@ -1,0 +1,95 @@
+// DIS "Field" Stressmark: sequential scan of a byte field searching for a
+// two-byte token while maintaining a decaying floating-point statistic of
+// every byte.  High spatial locality (few cache misses) with genuine
+// computation per element — the configuration where the paper notes
+// access/execute decoupling matters more than CMP prefetching.
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t bytes;
+};
+
+Params params_for(Scale scale) {
+  return scale == Scale::Paper ? Params{1u << 17} : Params{1u << 13};
+}
+
+constexpr std::uint8_t kTokenA = 0x5a;
+constexpr std::uint8_t kTokenB = 0xc3;
+
+}  // namespace
+
+BuiltWorkload make_field(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0x5151 + 3);
+
+  std::vector<std::uint8_t> field(p.bytes);
+  for (auto& b : field) b = static_cast<std::uint8_t>(rng.below(256));
+
+  constexpr double kDecayConst = 0.9990234375;  // 1 - 2^-10: exact
+  DataBuilder db;
+  const std::uint64_t decay_addr = db.add_f64(kDecayConst);
+  const std::uint64_t field_addr = db.align(8);
+  for (const auto b : field) db.add_u8(b);
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(2 * 8);
+
+  // Golden reference; the decaying FP statistic mirrors the kernel
+  // operation-for-operation so doubles compare bit-exactly.
+  std::uint64_t count = 0;
+  double stat = 0.0;
+  for (std::uint64_t i = 0; i + 1 < p.bytes; ++i) {
+    stat = stat * kDecayConst + static_cast<double>(field[i]);
+    if (field[i] == kTokenA && field[i + 1] == kTokenB) ++count;
+  }
+
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r4, )" << field_addr << R"(
+  li   r5, )" << (p.bytes - 1) << R"(   # iterations
+  li   r6, 0                            # i
+  li   r7, 0                            # token count (access side)
+  li   r17, )" << decay_addr << R"(
+  fld  f4, 0(r17)
+  cvtif f3, r0                          # running statistic = 0.0
+loop:
+  add  r9, r4, r6
+  lbu  r10, 0(r9)
+  cvtif f1, r10                         # computation side: decaying stat
+  fmul f2, f3, f4
+  fadd f3, f2, f1
+  lbu  r12, 1(r9)
+  xori r13, r10, )" << int{kTokenA} << R"(
+  xori r14, r12, )" << int{kTokenB} << R"(
+  or   r15, r13, r14
+  bne  r15, r0, nomatch
+  addi r7, r7, 1
+nomatch:
+  addi r6, r6, 1
+  blt  r6, r5, loop
+  li   r16, )" << res_addr << R"(
+  sd   r7, 0(r16)
+  fsd  f3, 8(r16)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "Field";
+  out.description = "byte-field token search with rolling checksum";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"field", field_addr}, {"result", res_addr}});
+  out.approx_dynamic_instructions = p.bytes * 13;
+  out.validate = [res_addr, count, stat](const sim::Functional& f) {
+    return f.memory().read<std::uint64_t>(res_addr) == count &&
+           f.memory().read<double>(res_addr + 8) == stat;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

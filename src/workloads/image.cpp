@@ -1,0 +1,129 @@
+// DIS "Image Understanding" application kernel: 3x3 floating-point
+// convolution over a 16-bit image followed by thresholding — the
+// feature-extraction front end of the DIS image-understanding
+// application.  Nine neighbourhood gathers per pixel feed an FP
+// multiply-accumulate tree; the thresholded response is written to an
+// output map and hot pixels are counted.
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t width;
+  std::uint64_t height;
+};
+
+Params params_for(Scale scale) {
+  return scale == Scale::Paper ? Params{192, 192} : Params{24, 24};
+}
+
+// Sharpen-like kernel with an exactly representable scale.
+constexpr double kW[9] = {-0.25, -0.5, -0.25, -0.5, 4.0,
+                          -0.5,  -0.25, -0.5, -0.25};
+constexpr double kThreshold = 8192.0;
+
+}  // namespace
+
+BuiltWorkload make_image(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0x1a6e + 41);
+
+  std::vector<std::uint16_t> img(p.width * p.height);
+  for (auto& v : img) v = static_cast<std::uint16_t>(rng.below(65536));
+
+  DataBuilder db;
+  const std::uint64_t img_addr = db.align(8);
+  for (const auto v : img) db.add_u16(v);
+  const std::uint64_t w_addr = db.align(8);
+  for (const auto w : kW) db.add_f64(w);
+  const std::uint64_t thr_addr = db.add_f64(kThreshold);
+  const std::uint64_t out_rows = p.height - 2;
+  const std::uint64_t out_cols = p.width - 2;
+  const std::uint64_t out_addr = db.align(8);
+  db.add_zeros(out_rows * out_cols * 8);
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(8);
+
+  // Golden reference (same accumulation order as the kernel: row-major
+  // over the 3x3 window).
+  std::vector<double> gout(out_rows * out_cols);
+  std::uint64_t hot = 0;
+  for (std::uint64_t i = 0; i < out_rows; ++i) {
+    for (std::uint64_t j = 0; j < out_cols; ++j) {
+      double acc = 0.0;
+      for (int dy = 0; dy < 3; ++dy)
+        for (int dx = 0; dx < 3; ++dx)
+          acc = acc + kW[dy * 3 + dx] *
+                          static_cast<double>(
+                              img[(i + dy) * p.width + (j + dx)]);
+      gout[i * out_cols + j] = acc;
+      if (acc > kThreshold) ++hot;
+    }
+  }
+
+  const std::uint64_t row_bytes = p.width * 2;
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r4, )" << img_addr << R"(     # top-left of the current window row
+  li   r5, )" << out_addr << R"(     # output cursor
+  li   r6, )" << out_rows << R"(     # row counter
+  li   r16, )" << thr_addr << R"(
+  fld  f15, 0(r16)                   # threshold
+  li   r20, 0                        # hot-pixel count
+rows:
+  mv   r7, r4                        # window column cursor
+  li   r9, )" << out_cols << R"(     # column counter
+cols:
+  cvtif f1, r0                       # acc = 0
+)";
+  for (int dy = 0; dy < 3; ++dy) {
+    for (int dx = 0; dx < 3; ++dx) {
+      const auto off = static_cast<std::uint64_t>(dy) * row_bytes +
+                       static_cast<std::uint64_t>(dx) * 2;
+      src << "  lhu  r10, " << off << "(r7)\n"
+          << "  cvtif f2, r10\n"
+          << "  li   r11, " << (w_addr + (dy * 3 + dx) * 8) << "\n"
+          << "  fld  f3, 0(r11)\n"
+          << "  fmul f4, f2, f3\n"
+          << "  fadd f1, f1, f4\n";
+    }
+  }
+  src << R"(  fsd  f1, 0(r5)                     # response map
+  flt  r12, f15, f1                  # acc > threshold
+  add  r20, r20, r12
+  addi r7, r7, 2
+  addi r5, r5, 8
+  addi r9, r9, -1
+  bne  r9, r0, cols
+  addi r4, r4, )" << row_bytes << R"(
+  addi r6, r6, -1
+  bne  r6, r0, rows
+  li   r13, )" << res_addr << R"(
+  sd   r20, 0(r13)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "Image";
+  out.description = "3x3 FP convolution + thresholding (DIS image kernel)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"image", img_addr}, {"out", out_addr},
+                          {"result", res_addr}});
+  out.approx_dynamic_instructions = out_rows * out_cols * 62;
+  out.validate = [res_addr, out_addr, hot, gout](const sim::Functional& f) {
+    if (f.memory().read<std::uint64_t>(res_addr) != hot) return false;
+    const std::uint64_t stride = gout.size() > 2048 ? 41 : 1;
+    for (std::uint64_t k = 0; k < gout.size(); k += stride)
+      if (f.memory().read<double>(out_addr + k * 8) != gout[k])
+        return false;
+    return true;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

@@ -1,0 +1,128 @@
+// DIS "Matrix" Stressmark: the kernel of a conjugate-gradient style
+// iterative solver — repeated sparse matrix-vector products in CSR form.
+// Column indices stream sequentially (access side), the x-vector gather is
+// data-dependent (prefetchable: integer address chain), and the
+// multiply-accumulate runs in floating point (computation side).  Not part
+// of the paper's Figure 8 suite (it plots five of the seven Stressmarks),
+// but included for completeness of the DIS suite.
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t rows;
+  std::uint64_t nnz_per_row;
+  std::uint64_t sweeps;
+};
+
+Params params_for(Scale scale) {
+  return scale == Scale::Paper ? Params{4'000, 8, 3} : Params{96, 6, 2};
+}
+
+}  // namespace
+
+BuiltWorkload make_matrix(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0x4d4d + 77);
+  const std::uint64_t nnz = p.rows * p.nnz_per_row;
+
+  // CSR structure with a fixed row degree; columns are random (the
+  // low-locality gather the stressmark is about).
+  std::vector<std::uint64_t> col(nnz);
+  std::vector<double> val(nnz), x(p.rows);
+  for (auto& c : col) c = rng.below(p.rows);
+  for (auto& v : val) v = rng.unit() - 0.5;
+  for (auto& v : x) v = rng.unit();
+
+  DataBuilder db;
+  const std::uint64_t col_addr = db.align(8);
+  for (const auto c : col) db.add_u64(c);
+  const std::uint64_t val_addr = db.align(8);
+  for (const auto v : val) db.add_f64(v);
+  const std::uint64_t x_addr = db.align(8);
+  for (const auto v : x) db.add_f64(v);
+  const std::uint64_t y_addr = db.align(8);
+  db.add_zeros(p.rows * 8);
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(8);
+
+  // Golden: `sweeps` products into y.  Sweep 0 gathers from x; later
+  // sweeps gather from y *in place* (Gauss-Seidel style, exactly as the
+  // kernel does — rows may read values already updated this sweep).
+  std::vector<double> y(p.rows, 0.0);
+  double checksum = 0.0;
+  for (std::uint64_t s = 0; s < p.sweeps; ++s) {
+    const std::vector<double>& src_vec = s == 0 ? x : y;
+    for (std::uint64_t i = 0; i < p.rows; ++i) {
+      double acc = 0.0;
+      for (std::uint64_t j = 0; j < p.nnz_per_row; ++j) {
+        const auto k = i * p.nnz_per_row + j;
+        acc = acc + val[k] * src_vec[col[k]];
+      }
+      y[i] = acc;
+      checksum = checksum + acc;
+    }
+  }
+
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r20, )" << p.sweeps << R"(   # sweep counter
+  li   r21, )" << x_addr << R"(     # gather source (x, then y in place)
+  cvtif f10, r0                     # global checksum
+sweep:
+  li   r4, )" << col_addr << R"(    # column cursor
+  li   r5, )" << val_addr << R"(    # value cursor
+  li   r6, )" << y_addr << R"(      # output cursor
+  li   r7, )" << p.rows << R"(      # row counter
+row:
+  cvtif f1, r0                      # acc = 0
+  li   r8, )" << p.nnz_per_row << R"(
+elem:
+  ld   r9, 0(r4)                    # column index
+  slli r9, r9, 3
+  add  r9, r9, r21
+  fld  f2, 0(r9)                    # x[col]   (random gather)
+  fld  f3, 0(r5)                    # A value
+  fmul f4, f2, f3
+  fadd f1, f1, f4
+  addi r4, r4, 8
+  addi r5, r5, 8
+  addi r8, r8, -1
+  bne  r8, r0, elem
+  fsd  f1, 0(r6)                    # y[i] = acc
+  fadd f10, f10, f1                 # checksum
+  addi r6, r6, 8
+  addi r7, r7, -1
+  bne  r7, r0, row
+  li   r21, )" << y_addr << R"(     # next sweep gathers from y
+  addi r20, r20, -1
+  bne  r20, r0, sweep
+  li   r22, )" << res_addr << R"(
+  fsd  f10, 0(r22)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "Matrix";
+  out.description = "CSR sparse matrix-vector sweeps (DIS Matrix/CG kernel)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"cols", col_addr}, {"y", y_addr},
+                          {"result", res_addr}});
+  out.approx_dynamic_instructions =
+      p.sweeps * p.rows * (p.nnz_per_row * 10 + 8);
+  out.validate = [res_addr, y_addr, checksum, y](const sim::Functional& f) {
+    if (f.memory().read<double>(res_addr) != checksum) return false;
+    const std::uint64_t stride = y.size() > 512 ? 37 : 1;
+    for (std::uint64_t i = 0; i < y.size(); i += stride)
+      if (f.memory().read<double>(y_addr + i * 8) != y[i]) return false;
+    return true;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

@@ -1,0 +1,140 @@
+// DIS "Neighborhood" Stressmark: repeated passes over a 16-bit image; for
+// every pixel, gather two neighbours at distance d, compute the sum of
+// squared differences in floating point, store it into a ring buffer and
+// accumulate a global statistic.  Every iteration loads on the access
+// side, computes on the FP side, and stores the FP result back — the tight
+// CP->AP coupling whose synchronizations cause the paper's
+// loss-of-decoupling events: Neighborhood is the one benchmark where CP+AP
+// falls below the baseline and CP+CMP beats the full HiDISC (§5.3).
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t width;
+  std::uint64_t height;
+  std::uint64_t dist;
+  std::uint64_t passes;
+  std::uint64_t ring;  // output ring entries (power of two)
+};
+
+Params params_for(Scale scale) {
+  // 288x288 x 2B = 162 KiB: misses DRAM on the first pass, L2-resident on
+  // the second.  The 16 KiB output ring stays L1-resident.
+  return scale == Scale::Paper ? Params{288, 288, 8, 3, 2048}
+                               : Params{48, 48, 4, 2, 256};
+}
+
+}  // namespace
+
+BuiltWorkload make_neighborhood(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0x7777 + 21);
+
+  std::vector<std::uint16_t> img(p.width * p.height);
+  for (auto& v : img) v = static_cast<std::uint16_t>(rng.below(65536));
+
+  DataBuilder db;
+  const std::uint64_t img_addr = db.align(8);
+  for (const auto v : img) db.add_u16(v);
+  const std::uint64_t out_rows = p.height - p.dist;
+  const std::uint64_t out_cols = p.width - p.dist;
+  const std::uint64_t ring_addr = db.align(8);
+  db.add_zeros(p.ring * 8);
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(8);
+
+  // Golden reference; arithmetic mirrors the kernel operation-for-operation
+  // so doubles compare bit-exactly.
+  std::vector<double> ring(p.ring, 0.0);
+  double total = 0.0;
+  for (std::uint64_t pass = 0; pass < p.passes; ++pass) {
+    std::uint64_t k = 0;
+    for (std::uint64_t i = 0; i < out_rows; ++i) {
+      for (std::uint64_t j = 0; j < out_cols; ++j) {
+        const double c = static_cast<double>(img[i * p.width + j]);
+        const double below =
+            static_cast<double>(img[(i + p.dist) * p.width + j]);
+        const double right =
+            static_cast<double>(img[i * p.width + j + p.dist]);
+        const double d1 = c - below;
+        const double d2 = c - right;
+        const double v = d1 * d1 + d2 * d2;
+        ring[k & (p.ring - 1)] = v;
+        total = total + v;
+        ++k;
+      }
+    }
+  }
+
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r14, )" << p.passes << R"(       # pass counter
+  cvtif f7, r0                          # running total
+pass:
+  li   r4, )" << img_addr << R"(        # current row pointer
+  li   r5, )" << ring_addr << R"(       # ring cursor
+  li   r15, )" << (ring_addr + p.ring * 8) << R"(  # ring end
+  li   r6, )" << out_rows << R"(        # row counter
+rows:
+  mv   r7, r4                           # rp: &img[i][0]
+  li   r8, )" << (p.dist * p.width * 2) << R"(
+  add  r8, r8, r4                       # rq: &img[i+d][0]
+  li   r9, )" << out_cols << R"(        # column counter
+cols:
+  lhu  r10, 0(r7)                       # centre pixel
+  lhu  r11, 0(r8)                       # below neighbour
+  lhu  r12, )" << (p.dist * 2) << R"((r7)   # right neighbour
+  cvtif f1, r10
+  cvtif f2, r11
+  cvtif f3, r12
+  fsub f4, f1, f2
+  fsub f5, f1, f3
+  fmul f4, f4, f4
+  fmul f5, f5, f5
+  fadd f6, f4, f5
+  fsd  f6, 0(r5)                        # ring[k] = v
+  fadd f7, f7, f6
+  addi r7, r7, 2
+  addi r8, r8, 2
+  addi r5, r5, 8
+  bne  r5, r15, nowrap                  # ring wrap-around
+  li   r5, )" << ring_addr << R"(
+nowrap:
+  addi r9, r9, -1
+  bne  r9, r0, cols
+  addi r4, r4, )" << (p.width * 2) << R"(
+  addi r6, r6, -1
+  bne  r6, r0, rows
+  addi r14, r14, -1
+  bne  r14, r0, pass
+  li   r13, )" << res_addr << R"(
+  fsd  f7, 0(r13)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "Neighborhood";
+  out.description =
+      "pixel-neighbourhood squared differences (FP store loop, 3 passes)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"image", img_addr}, {"ring", ring_addr},
+                          {"result", res_addr}});
+  out.approx_dynamic_instructions =
+      p.passes * out_rows * out_cols * 20;
+  out.validate = [res_addr, ring_addr, total, ring](const sim::Functional& f) {
+    if (f.memory().read<double>(res_addr) != total) return false;
+    for (std::uint64_t k = 0; k < ring.size(); ++k)
+      if (f.memory().read<double>(ring_addr + k * 8) != ring[k])
+        return false;
+    return true;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

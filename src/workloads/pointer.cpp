@@ -1,0 +1,122 @@
+// DIS "Pointer" Stressmark: serial pointer chasing through a pseudo-random
+// single-cycle permutation table.  As in the DIS specification, every hop
+// also inspects a window of neighbouring slots (branchless running
+// maximum) and maintains a checksum — per-hop work that fills the
+// baseline's scheduling window and delays dispatch of the next chase load,
+// while the CMP's slice stays a lean three-instruction chase (the paper's
+// "the CMP executes a smaller amount of code and therefore can run faster
+// than the AP").
+#include <sstream>
+#include <utility>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t table_words;
+  std::uint64_t hops;
+};
+
+Params params_for(Scale scale) {
+  // 128 KiB table: larger than L1, inside L2 — the chase mixes L1/L2 hits
+  // the way the paper's IPC levels (~2) imply for this stressmark.
+  return scale == Scale::Paper ? Params{1u << 14, 35'000}
+                               : Params{1u << 12, 1'200};
+}
+
+constexpr int kWindow = 8;  // neighbour slots inspected per hop
+
+}  // namespace
+
+BuiltWorkload make_pointer(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0x1234567 + 99);
+
+  // Sattolo's algorithm: a uniformly random permutation consisting of a
+  // single N-cycle, so a chase of fewer than N hops never revisits a slot.
+  std::vector<std::uint64_t> table(p.table_words);
+  for (std::uint64_t i = 0; i < p.table_words; ++i) table[i] = i;
+  for (std::uint64_t i = p.table_words - 1; i > 0; --i)
+    std::swap(table[i], table[rng.below(i)]);
+
+  DataBuilder db;
+  const std::uint64_t table_addr = db.align(8);
+  for (const auto v : table) db.add_u64(v);
+  db.add_zeros(kWindow * 8);  // window-scan guard beyond the last slot
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(4 * 8);
+
+  // Golden reference.
+  std::uint64_t idx = 0, sum = 0, maxv = 0, aligned = 0;
+  for (std::uint64_t h = 0; h < p.hops; ++h) {
+    const std::uint64_t at = idx;
+    idx = table[idx];
+    sum += idx;
+    if ((idx & 15) == 0) ++aligned;  // data-dependent branch in the kernel
+    if (idx > maxv) maxv = idx;
+    for (int w = 1; w <= kWindow; ++w) {
+      const std::uint64_t v = at + w < table.size() ? table[at + w] : 0;
+      if (v > maxv) maxv = v;  // values are < 2^63: signed max == unsigned
+    }
+  }
+
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r4, )" << table_addr << R"(    # table base
+  li   r5, 0                          # idx
+  li   r6, )" << p.hops << R"(        # hops
+  li   r7, 0                          # checksum
+  li   r9, 0                          # window maximum
+loop:
+  slli r10, r5, 3
+  add  r10, r10, r4
+  ld   r5, 0(r10)                     # idx = table[idx]  (critical chase)
+  add  r7, r7, r5                     # checksum
+  andi r17, r5, 15                    # branch on the chased value: its
+  bne  r17, r0, notal                 # resolution waits for the load
+  addi r18, r18, 1                    # count 16-aligned indices
+notal:
+  slt  r15, r9, r5                    # branchless max(r9, idx)
+  sub  r16, r5, r9
+  mul  r16, r16, r15
+  add  r9, r9, r16
+)";
+  for (int w = 1; w <= kWindow; ++w) {
+    src << "  ld   r11, " << w * 8 << "(r10)\n"
+        << "  slt  r15, r9, r11\n"
+        << "  sub  r16, r11, r9\n"
+        << "  mul  r16, r16, r15\n"
+        << "  add  r9, r9, r16\n";
+  }
+  src << R"(  addi r6, r6, -1
+  bne  r6, r0, loop
+  li   r12, )" << res_addr << R"(
+  sd   r5, 0(r12)
+  sd   r7, 8(r12)
+  sd   r9, 16(r12)
+  sd   r18, 24(r12)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "Pointer";
+  out.description =
+      "serial pointer chase with per-hop window scan (DIS Pointer)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"table", table_addr}, {"result", res_addr}});
+  out.approx_dynamic_instructions = p.hops * (11 + kWindow * 5);
+  out.validate = [res_addr, idx, sum, maxv,
+                  aligned](const sim::Functional& f) {
+    return f.memory().read<std::uint64_t>(res_addr) == idx &&
+           f.memory().read<std::uint64_t>(res_addr + 8) == sum &&
+           f.memory().read<std::uint64_t>(res_addr + 16) == maxv &&
+           f.memory().read<std::uint64_t>(res_addr + 24) == aligned;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

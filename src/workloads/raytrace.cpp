@@ -1,0 +1,146 @@
+// DIS "Ray Tracing" benchmark kernel: rays marching through a dense 2-D
+// grid of integer cell densities (DDA-style traversal), counting the cells
+// above a threshold along each ray.  Positions advance in floating point
+// on the computation side; cell indices flow CP->AP through the SDQ every
+// step.  Because the address stream depends on FP compute, the compiler
+// drops these loads from the CMAS (the CMP cannot pre-execute FP), making
+// this the prefetch-resistant member of the suite: all HiDISC benefit must
+// come from decoupling alone.
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+namespace {
+
+struct Params {
+  std::uint64_t grid;   // grid side length (cells)
+  std::uint64_t rays;
+  std::uint64_t steps;  // fixed march length per ray
+};
+
+Params params_for(Scale scale) {
+  return scale == Scale::Paper ? Params{256, 1'200, 80}
+                               : Params{64, 40, 24};
+}
+
+constexpr std::uint64_t kThreshold = 1u << 31;
+
+}  // namespace
+
+BuiltWorkload make_raytrace(Scale scale, std::uint64_t seed) {
+  const Params p = params_for(scale);
+  Rng rng(seed * 0xbeef + 11);
+
+  std::vector<std::uint32_t> grid(p.grid * p.grid);
+  for (auto& c : grid) c = static_cast<std::uint32_t>(rng.below(1ull << 32));
+
+  // Ray origins stay far enough from the borders that a fixed-length march
+  // with |direction| <= 1 never leaves the grid: no bounds checks needed.
+  const double margin = static_cast<double>(p.steps) + 2.0;
+  std::vector<double> ox(p.rays), oy(p.rays), dx(p.rays), dy(p.rays);
+  for (std::uint64_t r = 0; r < p.rays; ++r) {
+    const double span = static_cast<double>(p.grid) - 2.0 * margin;
+    ox[r] = margin + rng.unit() * span;
+    oy[r] = margin + rng.unit() * span;
+    dx[r] = rng.unit() * 2.0 - 1.0;
+    dy[r] = rng.unit() * 2.0 - 1.0;
+  }
+
+  DataBuilder db;
+  const std::uint64_t grid_addr = db.align(8);
+  for (const auto c : grid) db.add_u32(c);
+  const std::uint64_t ox_addr = db.align(8);
+  for (const auto v : ox) db.add_f64(v);
+  const std::uint64_t oy_addr = db.align(8);
+  for (const auto v : oy) db.add_f64(v);
+  const std::uint64_t dx_addr = db.align(8);
+  for (const auto v : dx) db.add_f64(v);
+  const std::uint64_t dy_addr = db.align(8);
+  for (const auto v : dy) db.add_f64(v);
+  const std::uint64_t res_addr = db.align(8);
+  db.add_zeros(3 * 8);
+
+  // Golden reference, operation-for-operation identical to the kernel.
+  std::uint64_t hits = 0;
+  double fx = 0.0, fy = 0.0;
+  for (std::uint64_t r = 0; r < p.rays; ++r) {
+    double x = ox[r], y = oy[r];
+    for (std::uint64_t s = 0; s < p.steps; ++s) {
+      const auto xi = static_cast<std::int64_t>(x);
+      const auto yi = static_cast<std::int64_t>(y);
+      const std::uint32_t cell =
+          grid[static_cast<std::uint64_t>(yi) * p.grid +
+               static_cast<std::uint64_t>(xi)];
+      if (cell > kThreshold) ++hits;
+      x = x + dx[r];
+      y = y + dy[r];
+    }
+    fx = x;
+    fy = y;
+  }
+
+  std::ostringstream src;
+  src << R"(.text
+_start:
+  li   r4, )" << grid_addr << R"(    # grid base
+  li   r5, )" << p.rays << R"(       # rays remaining
+  li   r6, 0                         # ray cursor (bytes)
+  li   r7, )" << p.grid << R"(       # grid side
+  li   r17, )" << kThreshold << R"(  # density threshold
+  li   r20, 0                        # hit count
+rayloop:
+  li   r8, )" << ox_addr << R"(
+  add  r8, r8, r6
+  fld  f1, 0(r8)                     # x
+  li   r9, )" << oy_addr << R"(
+  add  r9, r9, r6
+  fld  f2, 0(r9)                     # y
+  li   r10, )" << dx_addr << R"(
+  add  r10, r10, r6
+  fld  f3, 0(r10)                    # dx
+  li   r11, )" << dy_addr << R"(
+  add  r11, r11, r6
+  fld  f4, 0(r11)                    # dy
+  li   r12, )" << p.steps << R"(     # step counter
+steploop:
+  cvtfi r13, f1                      # xi   (computation -> SDQ)
+  cvtfi r14, f2                      # yi
+  mul  r15, r14, r7
+  add  r15, r15, r13
+  slli r15, r15, 2
+  add  r15, r15, r4
+  lwu  r16, 0(r15)                   # cell density
+  sltu r18, r17, r16                 # cell > threshold
+  add  r20, r20, r18                 # branchless hit count
+  fadd f1, f1, f3                    # x += dx
+  fadd f2, f2, f4                    # y += dy
+  addi r12, r12, -1
+  bne  r12, r0, steploop
+  addi r6, r6, 8
+  addi r5, r5, -1
+  bne  r5, r0, rayloop
+  li   r19, )" << res_addr << R"(
+  sd   r20, 0(r19)
+  fsd  f1, 8(r19)
+  fsd  f2, 16(r19)
+  halt
+)";
+
+  BuiltWorkload out;
+  out.name = "RayTray";
+  out.description =
+      "ray march through an integer density grid (DIS ray tracing)";
+  out.program = isa::assemble(src.str());
+  db.finish(out.program, {{"grid", grid_addr}, {"result", res_addr}});
+  out.approx_dynamic_instructions = p.rays * (p.steps * 13 + 16);
+  out.validate = [res_addr, hits, fx, fy](const sim::Functional& f) {
+    return f.memory().read<std::uint64_t>(res_addr) == hits &&
+           f.memory().read<double>(res_addr + 8) == fx &&
+           f.memory().read<double>(res_addr + 16) == fy;
+  };
+  return out;
+}
+
+}  // namespace hidisc::workloads

@@ -1,0 +1,28 @@
+#include "workloads/common.hpp"
+
+namespace hidisc::workloads {
+
+std::vector<BuiltWorkload> paper_suite(Scale scale) {
+  // Plot order of the paper's Figure 8: DM, RayTray, Pointer, Update,
+  // Field, NB, TC.
+  std::vector<BuiltWorkload> suite;
+  suite.push_back(make_dm(scale));
+  suite.push_back(make_raytrace(scale));
+  suite.push_back(make_pointer(scale));
+  suite.push_back(make_update(scale));
+  suite.push_back(make_field(scale));
+  suite.push_back(make_neighborhood(scale));
+  suite.push_back(make_transitive(scale));
+  return suite;
+}
+
+std::vector<BuiltWorkload> extra_suite(Scale scale) {
+  std::vector<BuiltWorkload> suite;
+  suite.push_back(make_matrix(scale));
+  suite.push_back(make_cornerturn(scale));
+  suite.push_back(make_fft(scale));
+  suite.push_back(make_image(scale));
+  return suite;
+}
+
+}  // namespace hidisc::workloads

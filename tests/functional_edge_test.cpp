@@ -1,0 +1,161 @@
+// Edge-case semantics of the functional simulator and assembler: shift
+// boundaries, conversion truncation, page-crossing memory traffic,
+// unsigned branches, LUI composition, and numeric branch targets.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/functional.hpp"
+
+namespace hidisc::sim {
+namespace {
+
+using isa::assemble;
+
+Functional run(const std::string& src) {
+  static std::vector<isa::Program> keep;
+  keep.push_back(assemble(src));
+  Functional f(keep.back());
+  f.run();
+  return f;
+}
+
+TEST(FunctionalEdge, ShiftAmountsUseLowSixBits) {
+  const auto f = run(
+      "li r1, 1\n"
+      "li r2, 64\n"
+      "sll r3, r1, r2\n"   // 64 & 63 == 0: unshifted
+      "li r4, 65\n"
+      "sll r5, r1, r4\n"   // 65 & 63 == 1
+      "slli r6, r1, 63\n"
+      "halt\n");
+  EXPECT_EQ(f.reg(3), 1);
+  EXPECT_EQ(f.reg(5), 2);
+  EXPECT_EQ(static_cast<std::uint64_t>(f.reg(6)), 1ull << 63);
+}
+
+TEST(FunctionalEdge, ArithmeticShiftKeepsSign) {
+  const auto f = run(
+      "li r1, -1024\n"
+      "srai r2, r1, 3\n"
+      "srli r3, r1, 60\n"
+      "halt\n");
+  EXPECT_EQ(f.reg(2), -128);
+  EXPECT_EQ(f.reg(3), 15);  // logical shift of the sign-extended pattern
+}
+
+TEST(FunctionalEdge, LuiShiftsBySixteen) {
+  const auto f = run(
+      "lui r1, 0x12\n"
+      "ori r2, r1, 0x34\n"
+      "halt\n");
+  EXPECT_EQ(f.reg(1), 0x120000);
+  EXPECT_EQ(f.reg(2), 0x120034);
+}
+
+TEST(FunctionalEdge, CvtfiTruncatesTowardZero) {
+  const auto f = run(
+      ".data\na: .double 2.99\nb: .double -2.99\n.text\n"
+      "fld f1, a\ncvtfi r1, f1\n"
+      "fld f2, b\ncvtfi r2, f2\n"
+      "halt\n");
+  EXPECT_EQ(f.reg(1), 2);
+  EXPECT_EQ(f.reg(2), -2);
+}
+
+TEST(FunctionalEdge, UnsignedBranchesTreatNegativeAsHuge) {
+  const auto f = run(
+      "li r1, -1\n"
+      "li r2, 1\n"
+      "bltu r1, r2, small\n"  // 0xfff... < 1 is false
+      "li r3, 100\n"
+      "j end\n"
+      "small: li r3, 7\n"
+      "end: halt\n");
+  EXPECT_EQ(f.reg(3), 100);
+}
+
+TEST(FunctionalEdge, MisalignedAndPageCrossingLoads) {
+  const auto f = run(
+      ".data\nbuf: .space 16\n.text\n"
+      "la r1, buf\n"
+      "li r2, 0x0123456789abcdef\n"
+      "sd r2, 3(r1)\n"       // misaligned store
+      "ld r3, 3(r1)\n"
+      "lw r4, 5(r1)\n"
+      "halt\n");
+  EXPECT_EQ(f.reg(3), 0x0123456789abcdef);
+  EXPECT_EQ(f.reg(4), 0x456789ab);  // bytes 5..8 of the store
+}
+
+TEST(FunctionalEdge, PageBoundaryStoreLoad) {
+  // kDataBase is page-aligned; place a value across the first page edge.
+  const auto page = sim::Memory::kPageSize;
+  std::string src = ".data\nbuf: .space " + std::to_string(page + 16) +
+                    "\n.text\n"
+                    "la r1, buf\n"
+                    "li r2, -2\n"
+                    "sd r2, " + std::to_string(page - 4) + "(r1)\n"
+                    "ld r3, " + std::to_string(page - 4) + "(r1)\n"
+                    "halt\n";
+  const auto f = run(src);
+  EXPECT_EQ(f.reg(3), -2);
+}
+
+TEST(FunctionalEdge, NumericBranchTargetsAssemble) {
+  const auto f = run(
+      "li r1, 3\n"        // 0
+      "addi r1, r1, -1\n" // 1
+      "bne r1, r0, 1\n"   // 2: numeric target
+      "halt\n");
+  EXPECT_EQ(f.reg(1), 0);
+}
+
+TEST(FunctionalEdge, SelfModifyingDataStructuresStayCoherent) {
+  // Write a pointer into memory, then chase it.
+  const auto f = run(
+      ".data\ncell: .space 16\nval: .dword 77\n.text\n"
+      "la r1, cell\n"
+      "la r2, val\n"
+      "sd r2, 0(r1)\n"
+      "ld r3, 0(r1)\n"
+      "ld r4, 0(r3)\n"
+      "halt\n");
+  EXPECT_EQ(f.reg(4), 77);
+}
+
+TEST(FunctionalEdge, FsqrtAndFmovChainExactly) {
+  const auto f = run(
+      ".data\na: .double 9.0\n.text\n"
+      "fld f1, a\n"
+      "fsqrt f2, f1\n"
+      "fmov f3, f2\n"
+      "fmul f4, f3, f3\n"
+      "halt\n");
+  EXPECT_EQ(f.freg(2), 3.0);
+  EXPECT_EQ(f.freg(4), 9.0);
+}
+
+TEST(FunctionalEdge, RemSignFollowsDividend) {
+  const auto f = run(
+      "li r1, -7\nli r2, 3\n"
+      "rem r3, r1, r2\n"
+      "li r4, 7\nli r5, -3\n"
+      "rem r6, r4, r5\n"
+      "halt\n");
+  EXPECT_EQ(f.reg(3), -1);
+  EXPECT_EQ(f.reg(6), 1);
+}
+
+TEST(FunctionalEdge, StepInterfaceMatchesRun) {
+  auto prog = assemble("li r1, 10\nloop: addi r1, r1, -1\n"
+                       "bne r1, r0, loop\nhalt\n");
+  Functional a(prog), b(prog);
+  a.run();
+  while (b.step()) {
+  }
+  EXPECT_EQ(a.instructions(), b.instructions());
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+}  // namespace
+}  // namespace hidisc::sim

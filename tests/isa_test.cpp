@@ -1,0 +1,208 @@
+// Unit tests for the HISA opcode table, instruction model, encoding
+// round-trips, and program rewriting (insert_after/insert_before).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace hidisc::isa {
+namespace {
+
+TEST(OpInfo, EveryOpcodeHasAName) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto& info = op_info(static_cast<Opcode>(i));
+    EXPECT_FALSE(info.name.empty()) << "opcode " << i;
+    EXPECT_GE(info.latency, 1) << info.name;
+  }
+}
+
+TEST(OpInfo, ClassPredicatesAreConsistent) {
+  EXPECT_TRUE(is_load(Opcode::LD));
+  EXPECT_TRUE(is_load(Opcode::FLD));
+  EXPECT_TRUE(is_store(Opcode::FSD));
+  EXPECT_FALSE(is_store(Opcode::LD));
+  EXPECT_TRUE(is_mem(Opcode::PREF));
+  EXPECT_TRUE(is_branch(Opcode::BNE));
+  EXPECT_TRUE(is_jump(Opcode::JALR));
+  EXPECT_TRUE(is_control(Opcode::BEOD));
+  EXPECT_TRUE(is_fp_compute(Opcode::CVTFI));
+  EXPECT_FALSE(is_fp_compute(Opcode::FLD));
+  EXPECT_TRUE(is_queue_op(Opcode::PUTEOD));
+}
+
+TEST(OpInfo, MemWidths) {
+  EXPECT_EQ(mem_width(Opcode::LB), 1);
+  EXPECT_EQ(mem_width(Opcode::LHU), 2);
+  EXPECT_EQ(mem_width(Opcode::SW), 4);
+  EXPECT_EQ(mem_width(Opcode::FLD), 8);
+  EXPECT_EQ(mem_width(Opcode::ADD), 0);
+}
+
+TEST(Reg, FlatIndexSeparatesSpaces) {
+  EXPECT_EQ(ir(5).flat(), 5);
+  EXPECT_EQ(fr(5).flat(), 37);
+  EXPECT_EQ(ir(31).flat(), 31);
+  EXPECT_EQ(fr(0).flat(), 32);  // FP space starts right after the int space
+}
+
+TEST(RegName, Formats) {
+  EXPECT_EQ(reg_name(ir(4)), "r4");
+  EXPECT_EQ(reg_name(fr(12)), "f12");
+  EXPECT_EQ(reg_name(no_reg()), "-");
+}
+
+Instruction random_instruction(std::mt19937_64& gen) {
+  std::uniform_int_distribution<int> op_dist(0, kNumOpcodes - 1);
+  std::uniform_int_distribution<int> reg_dist(0, 31);
+  std::uniform_int_distribution<std::int64_t> imm_dist(
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max());
+  Instruction inst;
+  inst.op = static_cast<Opcode>(op_dist(gen));
+  inst.dst = ir(static_cast<std::uint8_t>(reg_dist(gen)));
+  inst.src1 = fr(static_cast<std::uint8_t>(reg_dist(gen)));
+  inst.src2 = (gen() & 1) ? no_reg() : ir(static_cast<std::uint8_t>(reg_dist(gen)));
+  inst.imm = imm_dist(gen);
+  inst.target = static_cast<std::int32_t>(gen() % 100000) - 1;
+  inst.ann.stream = static_cast<Stream>(gen() % 3);
+  inst.ann.push_ldq = gen() & 1;
+  inst.ann.push_sdq = gen() & 1;
+  inst.ann.in_cmas = gen() & 1;
+  inst.ann.cmas_group = static_cast<std::int16_t>(gen() % 100 - 1);
+  inst.ann.is_trigger = gen() & 1;
+  inst.ann.trigger_group = static_cast<std::int16_t>(gen() % 100 - 1);
+  inst.ann.compiler_inserted = gen() & 1;
+  inst.ann.cmas_value_live = gen() & 1;
+  return inst;
+}
+
+TEST(Encoding, RoundTripsRandomInstructions) {
+  std::mt19937_64 gen(42);
+  for (int i = 0; i < 5000; ++i) {
+    const Instruction inst = random_instruction(gen);
+    const Instruction back = decode(encode(inst));
+    EXPECT_EQ(inst, back) << "iteration " << i;
+  }
+}
+
+TEST(Encoding, RejectsBadOpcodeByte) {
+  std::array<std::uint8_t, kEncodedInstrBytes> rec{};
+  rec[0] = static_cast<std::uint8_t>(kNumOpcodes);
+  EXPECT_THROW((void)decode(rec), std::runtime_error);
+}
+
+TEST(Encoding, ProgramImageRoundTrips) {
+  Program prog;
+  std::mt19937_64 gen(7);
+  for (int i = 0; i < 200; ++i) prog.code.push_back(random_instruction(gen));
+  prog.data = {1, 2, 3, 4, 5};
+  prog.data_labels = {{"a", kDataBase}, {"b", kDataBase + 4}};
+  prog.code_labels = {{"_start", 3}, {"loop", 77}};
+  prog.entry = 3;
+
+  const auto image = save_program(prog);
+  const Program back = load_program(image);
+  EXPECT_EQ(back.code, prog.code);
+  EXPECT_EQ(back.data, prog.data);
+  EXPECT_EQ(back.data_base, prog.data_base);
+  EXPECT_EQ(back.entry, prog.entry);
+  EXPECT_EQ(back.data_labels.at("b"), kDataBase + 4);
+  EXPECT_EQ(back.code_labels.at("loop"), 77);
+}
+
+TEST(Encoding, TruncatedImageThrows) {
+  Program prog;
+  prog.code.push_back(Instruction{});
+  auto image = save_program(prog);
+  image.resize(image.size() / 2);
+  EXPECT_THROW(load_program(image), std::runtime_error);
+}
+
+Program three_instr_program() {
+  Program prog;
+  Instruction a;  // 0: beq r1, r2 -> 2
+  a.op = Opcode::BEQ;
+  a.src1 = ir(1);
+  a.src2 = ir(2);
+  a.target = 2;
+  Instruction b;  // 1: add
+  b.op = Opcode::ADD;
+  b.dst = ir(3);
+  b.src1 = ir(1);
+  b.src2 = ir(2);
+  Instruction c;  // 2: halt
+  c.op = Opcode::HALT;
+  prog.code = {a, b, c};
+  prog.code_labels["end"] = 2;
+  return prog;
+}
+
+TEST(Program, InsertAfterRemapsTargets) {
+  Program prog = three_instr_program();
+  Instruction nop;
+  nop.op = Opcode::NOP;
+  prog.insert_after(0, nop);  // inserted at index 1
+  ASSERT_EQ(prog.code.size(), 4u);
+  EXPECT_EQ(prog.code[1].op, Opcode::NOP);
+  EXPECT_EQ(prog.code[0].target, 3);           // branch still hits halt
+  EXPECT_EQ(prog.code_labels.at("end"), 3);
+}
+
+TEST(Program, InsertBeforeKeepsTransfersOnInserted) {
+  Program prog = three_instr_program();
+  Instruction nop;
+  nop.op = Opcode::NOP;
+  prog.insert_before(2, nop);  // branch to 2 must now reach the NOP
+  ASSERT_EQ(prog.code.size(), 4u);
+  EXPECT_EQ(prog.code[2].op, Opcode::NOP);
+  EXPECT_EQ(prog.code[0].target, 2);
+  EXPECT_EQ(prog.code[3].op, Opcode::HALT);
+  EXPECT_EQ(prog.code_labels.at("end"), 2);  // label moves with the target
+}
+
+TEST(Program, MissingLabelLookupsThrow) {
+  Program prog = three_instr_program();
+  EXPECT_THROW((void)prog.data_addr("nope"), std::out_of_range);
+  EXPECT_THROW((void)prog.code_index("nope"), std::out_of_range);
+  EXPECT_EQ(prog.code_index("end"), 2);
+}
+
+TEST(Disassembler, FormatsRepresentativeInstructions) {
+  Instruction ld;
+  ld.op = Opcode::LD;
+  ld.dst = ir(5);
+  ld.src1 = ir(4);
+  ld.imm = 16;
+  EXPECT_EQ(disassemble(ld), "ld r5, 16(r4)");
+
+  Instruction st;
+  st.op = Opcode::FSD;
+  st.src2 = fr(6);
+  st.src1 = ir(9);
+  st.imm = -8;
+  EXPECT_EQ(disassemble(st), "fsd f6, -8(r9)");
+
+  Instruction br;
+  br.op = Opcode::BNE;
+  br.src1 = ir(1);
+  br.src2 = ir(0);
+  br.target = 12;
+  EXPECT_EQ(disassemble(br), "bne r1, r0, 12");
+
+  Instruction ann;
+  ann.op = Opcode::ADD;
+  ann.dst = ir(1);
+  ann.src1 = ir(2);
+  ann.src2 = ir(3);
+  ann.ann.stream = Stream::Access;
+  ann.ann.push_ldq = true;
+  EXPECT_EQ(disassemble(ann), "add r1, r2, r3  # AS push_ldq");
+}
+
+}  // namespace
+}  // namespace hidisc::isa

@@ -1,0 +1,105 @@
+// Program Flow Graph construction tests.
+#include <gtest/gtest.h>
+
+#include "compiler/pfg.hpp"
+#include "isa/assembler.hpp"
+
+namespace hidisc::compiler {
+namespace {
+
+using isa::assemble;
+
+TEST(Pfg, StraightLineIsOneBlock) {
+  const auto p = assemble("add r1, r2, r3\nadd r4, r5, r6\nhalt\n");
+  ProgramFlowGraph g(p);
+  ASSERT_EQ(g.blocks().size(), 1u);
+  EXPECT_EQ(g.blocks()[0].first, 0);
+  EXPECT_EQ(g.blocks()[0].last, 2);
+  EXPECT_TRUE(g.blocks()[0].succs.empty());
+}
+
+TEST(Pfg, LoopMakesBackEdge) {
+  const auto p = assemble(
+      "li r1, 10\n"             // 0  block A
+      "loop: addi r1, r1, -1\n" // 1  block B
+      "bne r1, r0, loop\n"      // 2  block B
+      "halt\n");                // 3  block C
+  ProgramFlowGraph g(p);
+  ASSERT_EQ(g.blocks().size(), 3u);
+  EXPECT_EQ(g.block_of(0), 0);
+  EXPECT_EQ(g.block_of(1), 1);
+  EXPECT_EQ(g.block_of(2), 1);
+  EXPECT_EQ(g.block_of(3), 2);
+  // B -> {B, C}; A -> {B}.
+  EXPECT_EQ(g.blocks()[0].succs, (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(g.blocks()[1].succs, (std::vector<std::int32_t>{1, 2}));
+  EXPECT_EQ(g.blocks()[1].preds, (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(Pfg, JumpHasSingleSuccessor) {
+  const auto p = assemble(
+      "j skip\n"
+      "li r1, 1\n"
+      "skip: halt\n");
+  ProgramFlowGraph g(p);
+  ASSERT_GE(g.blocks().size(), 3u);
+  EXPECT_EQ(g.blocks()[0].succs, (std::vector<std::int32_t>{2}));
+}
+
+TEST(Pfg, DefUseExtraction) {
+  const auto p = assemble(
+      "add r1, r2, r3\n"
+      "ld r4, 8(r5)\n"
+      "sd r6, 0(r7)\n"
+      "fadd f1, f2, f3\n"
+      "beq r1, r4, 0\n"
+      "halt\n");
+  ProgramFlowGraph g(p);
+  EXPECT_EQ(g.def_use(0).def, 1);
+  EXPECT_EQ(g.def_use(0).use[0], 2);
+  EXPECT_EQ(g.def_use(0).use[1], 3);
+  EXPECT_EQ(g.def_use(1).def, 4);
+  EXPECT_EQ(g.def_use(1).use[0], 5);
+  EXPECT_EQ(g.def_use(2).def, -1);
+  EXPECT_EQ(g.def_use(2).use[0], 7);
+  EXPECT_EQ(g.def_use(2).use[1], 6);
+  EXPECT_TRUE(g.def_use(2).use2_is_store_data);
+  EXPECT_EQ(g.def_use(3).def, 33);   // f1 flat index
+  EXPECT_EQ(g.def_use(3).use[0], 34);
+  EXPECT_EQ(g.def_use(4).def, -1);
+  EXPECT_FALSE(g.def_use(4).use2_is_store_data);
+}
+
+TEST(Pfg, R0NeverAppearsInDefUse) {
+  const auto p = assemble("add r0, r0, r1\nhalt\n");
+  ProgramFlowGraph g(p);
+  EXPECT_EQ(g.def_use(0).def, -1);
+  EXPECT_EQ(g.def_use(0).use[0], 1);  // only r1 counts
+}
+
+TEST(Pfg, EveryInstructionBelongsToExactlyOneBlock) {
+  const auto p = assemble(
+      "li r1, 3\n"
+      "a: addi r1, r1, -1\n"
+      "beq r1, r0, b\n"
+      "j a\n"
+      "b: li r2, 5\n"
+      "halt\n");
+  ProgramFlowGraph g(p);
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(p.code.size());
+       ++i) {
+    const auto b = g.block_of(i);
+    ASSERT_GE(b, 0);
+    const auto& bb = g.blocks()[b];
+    EXPECT_GE(i, bb.first);
+    EXPECT_LE(i, bb.last);
+  }
+}
+
+TEST(Pfg, RejectsEmptyProgram) {
+  isa::Program p;
+  EXPECT_THROW(ProgramFlowGraph{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hidisc::compiler

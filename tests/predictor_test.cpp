@@ -1,0 +1,110 @@
+// Bimodal predictor, BTB and RAS behaviour.
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.hpp"
+
+namespace hidisc::uarch {
+namespace {
+
+TEST(Predictor, RejectsNonPowerOfTwoSizes) {
+  EXPECT_THROW(BimodalPredictor(1000), std::invalid_argument);
+  EXPECT_THROW(BimodalPredictor(2048, 300), std::invalid_argument);
+}
+
+TEST(Predictor, LearnsAlwaysTakenLoopBranch) {
+  BimodalPredictor bp;
+  int mispredicts = 0;
+  for (int i = 0; i < 100; ++i)
+    mispredicts += bp.update(10, /*taken=*/true, /*target=*/3) ? 1 : 0;
+  // First update misses the BTB target; afterwards everything is right.
+  EXPECT_LE(mispredicts, 1);
+  EXPECT_EQ(bp.stats().lookups, 100u);
+}
+
+TEST(Predictor, LearnsNotTaken) {
+  BimodalPredictor bp;
+  // Counters initialize weakly-taken: the first not-taken updates train it.
+  int mispredicts = 0;
+  for (int i = 0; i < 50; ++i)
+    mispredicts += bp.update(5, false, 9) ? 1 : 0;
+  EXPECT_LE(mispredicts, 1);
+  const auto p = bp.predict(5);
+  EXPECT_FALSE(p.taken);
+}
+
+TEST(Predictor, AlternatingBranchMispredictsOften) {
+  BimodalPredictor bp;
+  int mispredicts = 0;
+  for (int i = 0; i < 100; ++i)
+    mispredicts += bp.update(8, i % 2 == 0, 20) ? 1 : 0;
+  EXPECT_GE(mispredicts, 40);  // 2-bit counters thrash on alternation
+}
+
+TEST(Predictor, BtbTargetChangeIsMispredict) {
+  BimodalPredictor bp;
+  for (int i = 0; i < 4; ++i) bp.update(12, true, 100);
+  EXPECT_FALSE(bp.update(12, true, 100));
+  EXPECT_TRUE(bp.update(12, true, 200));  // same direction, new target
+}
+
+TEST(Predictor, DistinctPcsTrainIndependently) {
+  BimodalPredictor bp;
+  for (int i = 0; i < 10; ++i) {
+    bp.update(100, true, 5);
+    bp.update(101, false, 6);
+  }
+  EXPECT_TRUE(bp.predict(100).taken);
+  EXPECT_FALSE(bp.predict(101).taken);
+}
+
+TEST(Predictor, RasPairsCallsAndReturns) {
+  BimodalPredictor bp;
+  bp.push_ras(11);
+  bp.push_ras(22);
+  EXPECT_EQ(bp.pop_ras(), 22);
+  EXPECT_EQ(bp.pop_ras(), 11);
+}
+
+TEST(Predictor, RasWrapsWhenFull) {
+  BimodalPredictor bp(2048, 512, /*ras_size=*/4);
+  for (int i = 0; i < 6; ++i) bp.push_ras(i);
+  // The newest four survive: 5, 4, 3, 2.
+  EXPECT_EQ(bp.pop_ras(), 5);
+  EXPECT_EQ(bp.pop_ras(), 4);
+  EXPECT_EQ(bp.pop_ras(), 3);
+  EXPECT_EQ(bp.pop_ras(), 2);
+}
+
+TEST(GShare, LearnsHistoryPatternBimodalCannot) {
+  // Period-3 pattern T T N: bimodal's single counter thrashes, gshare's
+  // history-indexed counters lock on.
+  BranchPredictor bimodal(2048, 512, 8, PredictorKind::Bimodal);
+  BranchPredictor gshare(2048, 512, 8, PredictorKind::GShare);
+  int mb = 0, mg = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const bool taken = i % 3 != 2;
+    mb += bimodal.update(40, taken, 7) ? 1 : 0;
+    mg += gshare.update(40, taken, 7) ? 1 : 0;
+  }
+  EXPECT_LT(mg, mb / 2) << "gshare should dominate on periodic history";
+  EXPECT_LT(mg, 100);
+}
+
+TEST(GShare, ResetClearsHistory) {
+  BranchPredictor gshare(2048, 512, 8, PredictorKind::GShare);
+  for (int i = 0; i < 100; ++i) gshare.update(3, i % 2 == 0, 9);
+  gshare.reset();
+  EXPECT_EQ(gshare.stats().lookups, 0u);
+  EXPECT_TRUE(gshare.predict(3).taken);  // back to weakly-taken
+}
+
+TEST(Predictor, ResetClearsTraining) {
+  BimodalPredictor bp;
+  for (int i = 0; i < 10; ++i) bp.update(3, false, 1);
+  bp.reset();
+  EXPECT_TRUE(bp.predict(3).taken);  // back to weakly-taken init
+  EXPECT_EQ(bp.stats().lookups, 0u);
+}
+
+}  // namespace
+}  // namespace hidisc::uarch

@@ -1,0 +1,210 @@
+// Cache profiling, CMAS extraction, and trigger selection tests.
+#include <gtest/gtest.h>
+
+#include "compiler/cmas.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/profiler.hpp"
+#include "isa/assembler.hpp"
+#include "sim/functional.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc::compiler {
+namespace {
+
+using isa::Opcode;
+using isa::assemble;
+
+// A strided scan over a large array: every load visits a new cache block,
+// so the load's miss rate is ~1.
+const char* kStridedMisses = R"(
+.data
+arr: .space 262144
+.text
+_start:
+  la   r4, arr
+  li   r5, 2048
+loop:
+  ld   r6, 0(r4)
+  add  r7, r7, r6
+  addi r4, r4, 128
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  halt
+)";
+
+TEST(Profiler, AttributesMissesToTheStridedLoad) {
+  const auto p = assemble(kStridedMisses);
+  sim::Functional f(p);
+  const auto trace = f.run_trace();
+  const auto profile = profile_cache(p, trace, mem::MemConfig{});
+  const auto hot = profile.probable_miss_instructions(0.5, 64);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(p.code[hot[0]].op, Opcode::LD);
+  EXPECT_EQ(profile.per_instr[hot[0]].mem_accesses, 2048u);
+  EXPECT_GT(profile.per_instr[hot[0]].miss_rate(), 0.9);
+  EXPECT_EQ(profile.dynamic_instructions, trace.size());
+}
+
+TEST(Profiler, HighLocalityLoadIsNotProbableMiss) {
+  const auto p = assemble(R"(
+.data
+v: .dword 7
+.text
+_start:
+  li r5, 5000
+loop:
+  ld r6, v
+  addi r5, r5, -1
+  bne r5, r0, loop
+  halt
+)");
+  sim::Functional f(p);
+  const auto trace = f.run_trace();
+  const auto profile = profile_cache(p, trace, mem::MemConfig{});
+  EXPECT_TRUE(profile.probable_miss_instructions(0.05, 64).empty());
+}
+
+TEST(Profiler, SelectTriggerFindsInstructionAtDistance) {
+  // Synthetic trace: repeating block of 10 static instructions.
+  sim::Trace trace;
+  for (int rep = 0; rep < 200; ++rep)
+    for (std::int32_t i = 0; i < 10; ++i)
+      trace.push_back({i, i == 9 ? 0 : i + 1, 0, 0});
+  // Target = instruction 7; at distance 20 (two reps back) the same slot
+  // is instruction 7 again.
+  const auto trig = select_trigger(trace, {7}, 20);
+  EXPECT_EQ(trig, 7);
+  // Distance 23 lands on instruction 4.
+  EXPECT_EQ(select_trigger(trace, {7}, 23), 4);
+}
+
+TEST(Profiler, SelectTriggerEmptyInputs) {
+  sim::Trace trace;
+  EXPECT_EQ(select_trigger(trace, {1}, 10), -1);
+  trace.push_back({0, 0, 0, 0});
+  EXPECT_EQ(select_trigger(trace, {}, 10), -1);
+}
+
+TEST(BackwardSlice, FollowsAddressChainOnly) {
+  const auto p = assemble(kStridedMisses);
+  // Find the ld instruction.
+  std::int32_t ld_idx = -1;
+  for (std::size_t i = 0; i < p.code.size(); ++i)
+    if (p.code[i].op == Opcode::LD) ld_idx = static_cast<std::int32_t>(i);
+  ASSERT_GE(ld_idx, 0);
+  const auto slice = backward_slice(p, ld_idx);
+  // Slice: la (base), addi (pointer bump), the ld itself.  The checksum
+  // add, the branch and the counter are not address-relevant... except the
+  // counter feeds nothing in the address chain.
+  for (const auto m : slice) {
+    const auto op = p.code[m].op;
+    EXPECT_TRUE(op == Opcode::LD || op == Opcode::ADDI ||
+                op == Opcode::ADD)
+        << "unexpected op in slice at " << m;
+    EXPECT_FALSE(isa::is_store(op));
+    EXPECT_FALSE(isa::is_control(op));
+  }
+  // The address-forming la/addi chain must be present.
+  bool has_ld = false;
+  for (const auto m : slice) has_ld |= p.code[m].op == Opcode::LD;
+  EXPECT_TRUE(has_ld);
+}
+
+TEST(Cmas, ExtractMarksMembersAndTrigger) {
+  auto p = assemble(kStridedMisses);
+  sim::Functional f(p);
+  const auto trace = f.run_trace();
+  const auto profile = profile_cache(p, trace, mem::MemConfig{});
+  CmasOptions opt;
+  opt.trigger_distance = 50;
+  const auto groups = extract_cmas(p, profile, trace, opt);
+  ASSERT_EQ(groups.size(), 1u);
+  const auto& g = groups[0];
+  EXPECT_FALSE(g.members.empty());
+  EXPECT_GE(g.trigger, 0);
+  EXPECT_TRUE(p.code[g.trigger].ann.is_trigger);
+  EXPECT_EQ(p.code[g.trigger].ann.trigger_group, g.id);
+  for (const auto m : g.members) {
+    EXPECT_TRUE(p.code[m].ann.in_cmas);
+    EXPECT_EQ(p.code[m].ann.cmas_group, g.id);
+  }
+}
+
+TEST(Cmas, FpFedAddressChainsAreDropped) {
+  // The load's address derives from CVTFI (floating point): the CMP cannot
+  // pre-execute it, so no CMAS group may target this load.
+  const auto src = R"(
+.data
+arr: .space 262144
+st: .double 0.0
+sc: .double 1.37
+.text
+_start:
+  la   r4, arr
+  li   r5, 3000
+  fld  f1, st
+  fld  f2, sc
+loop:
+  fadd f1, f1, f2
+  cvtfi r6, f1
+  slli r7, r6, 6
+  andi r7, r7, 262143
+  add  r8, r7, r4
+  ld   r9, 0(r8)
+  add  r10, r10, r9
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  halt
+)";
+  auto p = assemble(src);
+  sim::Functional f(p);
+  const auto trace = f.run_trace();
+  const auto profile = profile_cache(p, trace, mem::MemConfig{});
+  CmasOptions opt;
+  opt.min_misses = 16;
+  opt.miss_rate_threshold = 0.01;
+  const auto groups = extract_cmas(p, profile, trace, opt);
+  for (const auto& g : groups)
+    for (const auto t : g.targets)
+      EXPECT_NE(p.code[t].op, Opcode::LD)
+          << "FP-fed load must not become a CMAS target";
+}
+
+TEST(Compile, EndToEndProducesBothBinaries) {
+  const auto p = assemble(kStridedMisses);
+  CompileOptions opt;
+  opt.cmas.min_misses = 64;
+  const auto c = compile(p, opt);
+  EXPECT_EQ(c.original.code.size(), p.code.size());
+  EXPECT_GT(c.separated.code.size(), p.code.size());
+  EXPECT_FALSE(c.groups.empty());
+  EXPECT_EQ(c.access_count + c.compute_count, p.code.size());
+  // CMAS annotations survive separation (travel with instructions).
+  std::size_t cmas_in_sep = 0;
+  for (const auto& inst : c.separated.code)
+    cmas_in_sep += inst.ann.in_cmas ? 1 : 0;
+  EXPECT_GT(cmas_in_sep, 0u);
+}
+
+TEST(Compile, CmasMembersAreWithinAccessStream) {
+  // Paper §4.2: "the CMAS is a subset of the Access Stream".
+  const auto c = compile(assemble(kStridedMisses));
+  for (const auto& inst : c.separated.code)
+    if (inst.ann.in_cmas)
+      EXPECT_EQ(inst.ann.stream, isa::Stream::Access);
+}
+
+TEST(Compile, DisableCmasLeavesNoMarks)
+{
+  CompileOptions opt;
+  opt.enable_cmas = false;
+  const auto c = compile(assemble(kStridedMisses), opt);
+  for (const auto& inst : c.original.code) {
+    EXPECT_FALSE(inst.ann.in_cmas);
+    EXPECT_FALSE(inst.ann.is_trigger);
+  }
+  EXPECT_TRUE(c.groups.empty());
+}
+
+}  // namespace
+}  // namespace hidisc::compiler

@@ -1,0 +1,96 @@
+// Unit tests for the small µarch building blocks: timed FIFOs (LDQ/SDQ/SCQ
+// semantics) and functional-unit pools.
+#include <gtest/gtest.h>
+
+#include "uarch/fu_pool.hpp"
+#include "uarch/timed_fifo.hpp"
+
+namespace hidisc::uarch {
+namespace {
+
+TEST(TimedFifo, PushPopFifoOrder) {
+  TimedFifo q("q", 4);
+  EXPECT_TRUE(q.push({10, 1, false}));
+  EXPECT_TRUE(q.push({20, 2, false}));
+  ASSERT_NE(q.front_ready(100), nullptr);
+  EXPECT_EQ(q.front_ready(100)->producer_pos, 1);
+  EXPECT_EQ(q.pop().producer_pos, 1);
+  EXPECT_EQ(q.pop().producer_pos, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedFifo, CapacityRejectsWhenFull) {
+  TimedFifo q("q", 2);
+  EXPECT_TRUE(q.push({0, 0, false}));
+  EXPECT_TRUE(q.push({0, 1, false}));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push({0, 2, false}));
+  EXPECT_EQ(q.stats().pushes, 2u);
+}
+
+TEST(TimedFifo, FrontNotReadyBeforeItsCycle) {
+  TimedFifo q("q", 4);
+  q.push({50, 0, false});
+  EXPECT_EQ(q.front_ready(49), nullptr);
+  EXPECT_NE(q.front_ready(50), nullptr);
+}
+
+TEST(TimedFifo, ReadyIsHeadOnly) {
+  // A ready entry behind an unready head stays invisible: FIFO semantics.
+  TimedFifo q("q", 4);
+  q.push({100, 0, false});
+  q.push({0, 1, false});
+  EXPECT_EQ(q.front_ready(10), nullptr);
+}
+
+TEST(TimedFifo, EodFlagTravels) {
+  TimedFifo q("q", 4);
+  q.push({0, -1, true});
+  ASSERT_NE(q.front_ready(0), nullptr);
+  EXPECT_TRUE(q.front_ready(0)->eod);
+}
+
+TEST(TimedFifo, StatsTrackOccupancyAndStalls) {
+  TimedFifo q("q", 3);
+  q.push({0, 0, false});
+  q.push({0, 1, false});
+  q.note_full_stall();
+  q.note_empty_stall();
+  EXPECT_EQ(q.stats().max_occupancy, 2u);
+  EXPECT_EQ(q.stats().full_stall_cycles, 1u);
+  EXPECT_EQ(q.stats().empty_stall_cycles, 1u);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().pushes, 0u);
+}
+
+TEST(FuPool, AcquireUntilExhausted) {
+  FuPool pool(2);
+  EXPECT_TRUE(pool.available(0));
+  EXPECT_TRUE(pool.acquire(0, 1));
+  EXPECT_TRUE(pool.acquire(0, 1));
+  EXPECT_FALSE(pool.acquire(0, 1));  // both busy this cycle
+  EXPECT_TRUE(pool.acquire(1, 1));   // pipelined: free next cycle
+}
+
+TEST(FuPool, UnpipelinedOccupiesForLatency) {
+  FuPool pool(1);
+  EXPECT_TRUE(pool.acquire(0, 20));  // divide occupies 20 cycles
+  EXPECT_FALSE(pool.available(19));
+  EXPECT_TRUE(pool.available(20));
+}
+
+TEST(FuPool, ResetFreesUnits) {
+  FuPool pool(1);
+  pool.acquire(0, 100);
+  pool.reset();
+  EXPECT_TRUE(pool.available(0));
+}
+
+TEST(FuPool, SizeReportsUnitCount) {
+  EXPECT_EQ(FuPool(4).size(), 4);
+  EXPECT_EQ(FuPool().size(), 0);
+}
+
+}  // namespace
+}  // namespace hidisc::uarch

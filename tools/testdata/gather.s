@@ -1,0 +1,31 @@
+# Random-ish gather kernel used by the CLI smoke tests for `sim`.
+.data
+idx: .space 8192
+tbl: .space 65536
+.text
+_start:
+  la   r4, idx
+  li   r5, 1024
+  li   r9, 7
+fill:                      # build a pseudo-random index table in memory
+  mul  r9, r9, r9
+  addi r9, r9, 13
+  andi r10, r9, 8191
+  sd   r10, 0(r4)
+  addi r4, r4, 8
+  addi r5, r5, -1
+  bne  r5, r0, fill
+  la   r4, idx
+  la   r6, tbl
+  li   r5, 1024
+gather:
+  ld   r7, 0(r4)
+  slli r7, r7, 3
+  andi r7, r7, 65528
+  add  r7, r7, r6
+  ld   r8, 0(r7)
+  add  r11, r11, r8
+  addi r4, r4, 8
+  addi r5, r5, -1
+  bne  r5, r0, gather
+  halt

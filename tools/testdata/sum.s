@@ -1,0 +1,13 @@
+# Sum the integers 1..100 into r2, store the result, and halt.
+.data
+out: .space 8
+.text
+_start:
+  li   r1, 100
+  li   r2, 0
+loop:
+  add  r2, r2, r1
+  addi r1, r1, -1
+  bne  r1, r0, loop
+  sd   r2, out
+  halt
