@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_predictor"
+  "../bench/bench_ablation_predictor.pdb"
+  "CMakeFiles/bench_ablation_predictor.dir/bench_ablation_predictor.cpp.o"
+  "CMakeFiles/bench_ablation_predictor.dir/bench_ablation_predictor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

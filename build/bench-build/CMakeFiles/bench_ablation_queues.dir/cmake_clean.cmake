@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_queues"
+  "../bench/bench_ablation_queues.pdb"
+  "CMakeFiles/bench_ablation_queues.dir/bench_ablation_queues.cpp.o"
+  "CMakeFiles/bench_ablation_queues.dir/bench_ablation_queues.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

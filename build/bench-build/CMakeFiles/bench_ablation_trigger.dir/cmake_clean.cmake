@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_trigger"
+  "../bench/bench_ablation_trigger.pdb"
+  "CMakeFiles/bench_ablation_trigger.dir/bench_ablation_trigger.cpp.o"
+  "CMakeFiles/bench_ablation_trigger.dir/bench_ablation_trigger.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extra_stressmarks"
+  "../bench/bench_extra_stressmarks.pdb"
+  "CMakeFiles/bench_extra_stressmarks.dir/bench_extra_stressmarks.cpp.o"
+  "CMakeFiles/bench_extra_stressmarks.dir/bench_extra_stressmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_stressmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_missrate"
+  "../bench/bench_fig9_missrate.pdb"
+  "CMakeFiles/bench_fig9_missrate.dir/bench_fig9_missrate.cpp.o"
+  "CMakeFiles/bench_fig9_missrate.dir/bench_fig9_missrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_tolerance.dir/latency_tolerance.cpp.o"
+  "CMakeFiles/latency_tolerance.dir/latency_tolerance.cpp.o.d"
+  "latency_tolerance"
+  "latency_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

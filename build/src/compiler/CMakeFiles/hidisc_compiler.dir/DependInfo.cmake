@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/cmas.cpp" "src/compiler/CMakeFiles/hidisc_compiler.dir/cmas.cpp.o" "gcc" "src/compiler/CMakeFiles/hidisc_compiler.dir/cmas.cpp.o.d"
+  "/root/repo/src/compiler/compile.cpp" "src/compiler/CMakeFiles/hidisc_compiler.dir/compile.cpp.o" "gcc" "src/compiler/CMakeFiles/hidisc_compiler.dir/compile.cpp.o.d"
+  "/root/repo/src/compiler/pfg.cpp" "src/compiler/CMakeFiles/hidisc_compiler.dir/pfg.cpp.o" "gcc" "src/compiler/CMakeFiles/hidisc_compiler.dir/pfg.cpp.o.d"
+  "/root/repo/src/compiler/profiler.cpp" "src/compiler/CMakeFiles/hidisc_compiler.dir/profiler.cpp.o" "gcc" "src/compiler/CMakeFiles/hidisc_compiler.dir/profiler.cpp.o.d"
+  "/root/repo/src/compiler/slicer.cpp" "src/compiler/CMakeFiles/hidisc_compiler.dir/slicer.cpp.o" "gcc" "src/compiler/CMakeFiles/hidisc_compiler.dir/slicer.cpp.o.d"
+  "/root/repo/src/compiler/verify.cpp" "src/compiler/CMakeFiles/hidisc_compiler.dir/verify.cpp.o" "gcc" "src/compiler/CMakeFiles/hidisc_compiler.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hidisc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hidisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hidisc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_compiler.dir/cmas.cpp.o"
+  "CMakeFiles/hidisc_compiler.dir/cmas.cpp.o.d"
+  "CMakeFiles/hidisc_compiler.dir/compile.cpp.o"
+  "CMakeFiles/hidisc_compiler.dir/compile.cpp.o.d"
+  "CMakeFiles/hidisc_compiler.dir/pfg.cpp.o"
+  "CMakeFiles/hidisc_compiler.dir/pfg.cpp.o.d"
+  "CMakeFiles/hidisc_compiler.dir/profiler.cpp.o"
+  "CMakeFiles/hidisc_compiler.dir/profiler.cpp.o.d"
+  "CMakeFiles/hidisc_compiler.dir/slicer.cpp.o"
+  "CMakeFiles/hidisc_compiler.dir/slicer.cpp.o.d"
+  "CMakeFiles/hidisc_compiler.dir/verify.cpp.o"
+  "CMakeFiles/hidisc_compiler.dir/verify.cpp.o.d"
+  "libhidisc_compiler.a"
+  "libhidisc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhidisc_compiler.a"
+)

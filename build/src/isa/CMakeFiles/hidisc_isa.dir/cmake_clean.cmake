@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_isa.dir/assembler.cpp.o"
+  "CMakeFiles/hidisc_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/hidisc_isa.dir/disassembler.cpp.o"
+  "CMakeFiles/hidisc_isa.dir/disassembler.cpp.o.d"
+  "CMakeFiles/hidisc_isa.dir/encoding.cpp.o"
+  "CMakeFiles/hidisc_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/hidisc_isa.dir/opcode.cpp.o"
+  "CMakeFiles/hidisc_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/hidisc_isa.dir/program.cpp.o"
+  "CMakeFiles/hidisc_isa.dir/program.cpp.o.d"
+  "libhidisc_isa.a"
+  "libhidisc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_machine.dir/machine.cpp.o"
+  "CMakeFiles/hidisc_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/hidisc_machine.dir/report.cpp.o"
+  "CMakeFiles/hidisc_machine.dir/report.cpp.o.d"
+  "libhidisc_machine.a"
+  "libhidisc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

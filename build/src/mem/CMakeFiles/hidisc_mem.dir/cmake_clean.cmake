@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_mem.dir/cache.cpp.o"
+  "CMakeFiles/hidisc_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/hidisc_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/hidisc_mem.dir/memory_system.cpp.o.d"
+  "libhidisc_mem.a"
+  "libhidisc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

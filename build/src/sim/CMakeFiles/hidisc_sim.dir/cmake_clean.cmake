@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_sim.dir/functional.cpp.o"
+  "CMakeFiles/hidisc_sim.dir/functional.cpp.o.d"
+  "libhidisc_sim.a"
+  "libhidisc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_stats.dir/table.cpp.o"
+  "CMakeFiles/hidisc_stats.dir/table.cpp.o.d"
+  "libhidisc_stats.a"
+  "libhidisc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

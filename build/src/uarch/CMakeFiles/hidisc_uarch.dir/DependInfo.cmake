@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cpp" "src/uarch/CMakeFiles/hidisc_uarch.dir/branch_predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/hidisc_uarch.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/uarch/core.cpp" "src/uarch/CMakeFiles/hidisc_uarch.dir/core.cpp.o" "gcc" "src/uarch/CMakeFiles/hidisc_uarch.dir/core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hidisc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hidisc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

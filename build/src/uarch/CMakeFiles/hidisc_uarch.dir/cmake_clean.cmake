@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/hidisc_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/hidisc_uarch.dir/core.cpp.o"
+  "CMakeFiles/hidisc_uarch.dir/core.cpp.o.d"
+  "libhidisc_uarch.a"
+  "libhidisc_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cornerturn.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/cornerturn.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/cornerturn.cpp.o.d"
+  "/root/repo/src/workloads/dm.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/dm.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/dm.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/fft.cpp.o.d"
+  "/root/repo/src/workloads/field.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/field.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/field.cpp.o.d"
+  "/root/repo/src/workloads/image.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/image.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/image.cpp.o.d"
+  "/root/repo/src/workloads/matrix.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/matrix.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/matrix.cpp.o.d"
+  "/root/repo/src/workloads/neighborhood.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/neighborhood.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/workloads/pointer.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/pointer.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/pointer.cpp.o.d"
+  "/root/repo/src/workloads/raytrace.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/raytrace.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/raytrace.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/transitive.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/transitive.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/transitive.cpp.o.d"
+  "/root/repo/src/workloads/update.cpp" "src/workloads/CMakeFiles/hidisc_workloads.dir/update.cpp.o" "gcc" "src/workloads/CMakeFiles/hidisc_workloads.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hidisc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hidisc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidisc_workloads.dir/cornerturn.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/cornerturn.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/dm.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/dm.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/fft.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/fft.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/field.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/field.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/image.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/image.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/matrix.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/matrix.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/neighborhood.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/pointer.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/pointer.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/raytrace.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/raytrace.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/suite.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/transitive.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/transitive.cpp.o.d"
+  "CMakeFiles/hidisc_workloads.dir/update.cpp.o"
+  "CMakeFiles/hidisc_workloads.dir/update.cpp.o.d"
+  "libhidisc_workloads.a"
+  "libhidisc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidisc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupled_asm_test.dir/decoupled_asm_test.cpp.o"
+  "CMakeFiles/decoupled_asm_test.dir/decoupled_asm_test.cpp.o.d"
+  "decoupled_asm_test"
+  "decoupled_asm_test.pdb"
+  "decoupled_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupled_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_edge_test.dir/functional_edge_test.cpp.o"
+  "CMakeFiles/functional_edge_test.dir/functional_edge_test.cpp.o.d"
+  "functional_edge_test"
+  "functional_edge_test.pdb"
+  "functional_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/functional_test.cpp" "tests/CMakeFiles/functional_test.dir/functional_test.cpp.o" "gcc" "tests/CMakeFiles/functional_test.dir/functional_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hidisc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hidisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hidisc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/hidisc_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hidisc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/hidisc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hidisc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hidisc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicer_test.dir/slicer_test.cpp.o"
+  "CMakeFiles/slicer_test.dir/slicer_test.cpp.o.d"
+  "slicer_test"
+  "slicer_test.pdb"
+  "slicer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_parts_test.dir/uarch_parts_test.cpp.o"
+  "CMakeFiles/uarch_parts_test.dir/uarch_parts_test.cpp.o.d"
+  "uarch_parts_test"
+  "uarch_parts_test.pdb"
+  "uarch_parts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisa.dir/hisa.cpp.o"
+  "CMakeFiles/hisa.dir/hisa.cpp.o.d"
+  "hisa"
+  "hisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

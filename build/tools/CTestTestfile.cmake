@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_run "/root/repo/build/tools/hisa" "run" "/root/repo/tools/testdata/sum.s" "--reg" "r2")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dis "/root/repo/build/tools/hisa" "dis" "/root/repo/tools/testdata/sum.s")
+set_tests_properties(cli_dis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compile "/root/repo/build/tools/hisa" "compile" "/root/repo/tools/testdata/sum.s" "--report")
+set_tests_properties(cli_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sim "/root/repo/build/tools/hisa" "sim" "/root/repo/tools/testdata/gather.s" "--machine" "hidisc")
+set_tests_properties(cli_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sim_verbose "/root/repo/build/tools/hisa" "sim" "/root/repo/tools/testdata/sum.s" "--machine" "ss" "--verbose")
+set_tests_properties(cli_sim_verbose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_asm "/root/repo/build/tools/hisa" "asm" "/root/repo/tools/testdata/sum.s" "/root/repo/build/tools/sum.bin")
+set_tests_properties(cli_asm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_binary "/root/repo/build/tools/hisa" "run" "/root/repo/build/tools/sum.bin" "--reg" "r2")
+set_tests_properties(cli_run_binary PROPERTIES  DEPENDS "cli_asm" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/hisa" "bogus" "nothing")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
