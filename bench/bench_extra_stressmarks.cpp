@@ -1,10 +1,11 @@
 // Beyond the paper's Figure 8: the remaining DIS Stressmarks (Matrix,
 // Corner Turn) and two more DIS application kernels (FFT, Image
-// Understanding), run through the same four configurations.  Matrix is an
-// FP gather kernel (decoupling + prefetching both apply); Corner Turn is
-// pure integer (all access-side, like Transitive Closure); FFT mixes a
-// data-shuffle phase with FP butterflies; Image behaves like Neighborhood
-// (per-pixel FP store round trips: loss-of-decoupling).
+// Understanding), run through the same four configurations via the
+// hidisc-lab orchestrator.  Matrix is an FP gather kernel (decoupling +
+// prefetching both apply); Corner Turn is pure integer (all access-side,
+// like Transitive Closure); FFT mixes a data-shuffle phase with FP
+// butterflies; Image behaves like Neighborhood (per-pixel FP store round
+// trips: loss-of-decoupling).
 #include <cstdio>
 
 #include "harness.hpp"
@@ -13,25 +14,27 @@ int main() {
   using namespace hidisc;
   printf("=== Extra DIS workloads: Matrix, Corner Turn, FFT, Image ===\n\n");
 
+  const auto plan = lab::plan_extra();
+  const auto run = lab::run_plan(plan, bench::lab_options());
+
   stats::Table table({"Benchmark", "Superscalar", "CP+AP", "CP+CMP",
                       "HiDISC", "base cycles", "base L1 miss rate"});
-  for (const auto& w : workloads::extra_suite()) {
-    const auto p = bench::prepare(w);
-    const auto base = bench::run_preset(p, machine::Preset::Superscalar);
-    const auto rel = [&base](const machine::Result& r) {
-      return static_cast<double>(base.cycles) /
-             static_cast<double>(r.cycles);
+  for (const auto& c : plan.cells) {
+    if (c.preset != machine::Preset::Superscalar) continue;  // one per row
+    const auto& name = c.workload.name;
+    const auto& base = run.at(plan, name, machine::Preset::Superscalar);
+    const auto rel = [&](machine::Preset preset) {
+      return static_cast<double>(base.result.cycles) /
+             static_cast<double>(run.at(plan, name, preset).result.cycles);
     };
-    table.add_row(
-        {w.name, "1.000",
-         stats::Table::num(rel(bench::run_preset(p, machine::Preset::CPAP))),
-         stats::Table::num(
-             rel(bench::run_preset(p, machine::Preset::CPCMP))),
-         stats::Table::num(
-             rel(bench::run_preset(p, machine::Preset::HiDISC))),
-         std::to_string(base.cycles),
-         stats::Table::num(base.l1_demand_miss_rate())});
+    table.add_row({name, "1.000", stats::Table::num(rel(machine::Preset::CPAP)),
+                   stats::Table::num(rel(machine::Preset::CPCMP)),
+                   stats::Table::num(rel(machine::Preset::HiDISC)),
+                   std::to_string(base.result.cycles),
+                   stats::Table::num(base.result.l1_demand_miss_rate())});
   }
   printf("%s\n", table.to_string().c_str());
+  printf("[lab] %zu cells: %zu simulated, %zu cached, %.0f ms\n",
+         run.cells.size(), run.simulated, run.cache_hits, run.wall_ms);
   return 0;
 }

@@ -1,6 +1,8 @@
 // Figure 10 reproduction: latency tolerance.  IPC of the four
 // configurations on the Pointer and Neighborhood Stressmarks while the
 // (L2, DRAM) latencies sweep through {4/40, 8/80, 12/120, 16/160}.
+// The 32-cell sweep runs through the hidisc-lab orchestrator (see
+// harness.hpp).
 //
 // IPC is normalized to the original binary's dynamic instruction count so
 // configurations running the (slightly longer) separated binary remain
@@ -19,25 +21,24 @@ int main() {
   using namespace hidisc;
   printf("=== Figure 10: IPC vs. (L2, DRAM) latency ===\n\n");
 
+  const auto plan = lab::plan_fig10();
+  const auto run = lab::run_plan(plan, bench::lab_options());
+
   const int sweep[4][2] = {{4, 40}, {8, 80}, {12, 120}, {16, 160}};
-  for (const auto make : {&workloads::make_pointer,
-                          &workloads::make_neighborhood}) {
-    const auto w = make(workloads::Scale::Paper, /*seed=*/
-                        make == &workloads::make_pointer ? 1 : 4);
-    const auto p = bench::prepare(w);
-    printf("--- %s Stressmark ---\n", w.name.c_str());
+  for (const char* workload : {"Pointer", "Neighborhood"}) {
+    printf("--- %s Stressmark ---\n", workload);
     stats::Table table({"L2/Mem latency", "Superscalar", "CP+AP", "CP+CMP",
                         "HiDISC"});
     double first[4] = {0, 0, 0, 0}, last[4] = {0, 0, 0, 0};
     for (int s = 0; s < 4; ++s) {
-      machine::MachineConfig cfg;
-      cfg.mem = mem::MemConfig::with_latencies(sweep[s][0], sweep[s][1]);
-      std::vector<std::string> row{std::to_string(sweep[s][0]) + "/" +
-                                   std::to_string(sweep[s][1])};
+      const std::string tag = std::to_string(sweep[s][0]) + "/" +
+                              std::to_string(sweep[s][1]);
+      std::vector<std::string> row{tag};
       for (std::size_t c = 0; c < bench::all_presets().size(); ++c) {
-        const auto r = bench::run_preset(p, bench::all_presets()[c], cfg);
-        const double ipc = static_cast<double>(p.orig_trace.size()) /
-                           static_cast<double>(r.cycles);
+        const auto& r = run.at(plan, workload, bench::all_presets()[c], tag);
+        const double ipc =
+            static_cast<double>(r.orig_dynamic_instructions) /
+            static_cast<double>(r.result.cycles);
         row.push_back(stats::Table::num(ipc));
         if (s == 0) first[c] = ipc;
         if (s == 3) last[c] = ipc;
@@ -52,5 +53,7 @@ int main() {
   }
   printf("Paper: baseline loses 20.3%% (Pointer) / 13.9%% (Neighborhood) "
          "at the longest latency; HiDISC only 1.8%% / 4.8%%.\n");
+  printf("[lab] %zu cells: %zu simulated, %zu cached, %.0f ms\n",
+         run.cells.size(), run.simulated, run.cache_hits, run.wall_ms);
   return 0;
 }

@@ -1,6 +1,8 @@
 // Figure 8 reproduction: per-benchmark speed-up of the CP+AP, CP+CMP and
 // HiDISC configurations relative to the baseline superscalar, across the
-// seven DIS benchmarks in the paper's plot order.
+// seven DIS benchmarks in the paper's plot order.  Cells run through the
+// hidisc-lab orchestrator (parallel, memoized prep, optional cache — see
+// harness.hpp).
 //
 // Paper reference points: HiDISC is best in six of seven benchmarks (all
 // but Neighborhood, where the frequent CP<->AP synchronizations cause
@@ -14,27 +16,28 @@ int main() {
   using namespace hidisc;
   printf("=== Figure 8: speed-up vs. baseline superscalar ===\n\n");
 
+  const auto plan = lab::plan_fig8();
+  const auto run = lab::run_plan(plan, bench::lab_options());
+
   stats::Table table({"Benchmark", "Superscalar", "CP+AP", "CP+CMP",
                       "HiDISC", "base cycles"});
   double sums[3] = {0, 0, 0};
   int count = 0;
-  for (const auto& w : workloads::paper_suite()) {
-    const auto p = bench::prepare(w);
-    const auto base = bench::run_preset(p, machine::Preset::Superscalar);
-    const auto cpap = bench::run_preset(p, machine::Preset::CPAP);
-    const auto cpcmp = bench::run_preset(p, machine::Preset::CPCMP);
-    const auto hidisc = bench::run_preset(p, machine::Preset::HiDISC);
-    const auto rel = [&base](const machine::Result& r) {
-      return static_cast<double>(base.cycles) /
-             static_cast<double>(r.cycles);
+  for (const auto& c : plan.cells) {
+    if (c.preset != machine::Preset::Superscalar) continue;  // one per row
+    const auto& name = c.workload.name;
+    const auto& base = run.at(plan, name, machine::Preset::Superscalar);
+    const auto rel = [&](machine::Preset preset) {
+      return static_cast<double>(base.result.cycles) /
+             static_cast<double>(run.at(plan, name, preset).result.cycles);
     };
-    table.add_row({w.name, "1.000", stats::Table::num(rel(cpap)),
-                   stats::Table::num(rel(cpcmp)),
-                   stats::Table::num(rel(hidisc)),
-                   std::to_string(base.cycles)});
-    sums[0] += rel(cpap);
-    sums[1] += rel(cpcmp);
-    sums[2] += rel(hidisc);
+    table.add_row({name, "1.000", stats::Table::num(rel(machine::Preset::CPAP)),
+                   stats::Table::num(rel(machine::Preset::CPCMP)),
+                   stats::Table::num(rel(machine::Preset::HiDISC)),
+                   std::to_string(base.result.cycles)});
+    sums[0] += rel(machine::Preset::CPAP);
+    sums[1] += rel(machine::Preset::CPCMP);
+    sums[2] += rel(machine::Preset::HiDISC);
     ++count;
   }
   table.add_row({"MEAN", "1.000", stats::Table::num(sums[0] / count),
@@ -43,5 +46,7 @@ int main() {
   printf("%s\n", table.to_string().c_str());
   printf("Paper: HiDISC best in 6/7 (not Neighborhood); max speed-up on "
          "Update; suite average ~1.12x.\n");
+  printf("[lab] %zu cells: %zu simulated, %zu cached, %.0f ms\n",
+         run.cells.size(), run.simulated, run.cache_hits, run.wall_ms);
   return 0;
 }

@@ -1,6 +1,7 @@
 // Figure 9 reproduction: L1-D demand miss count of each configuration,
 // normalized to the baseline superscalar (the paper plots "reduction of
-// cache miss rate compared to the baseline").
+// cache miss rate compared to the baseline").  Cells run through the
+// hidisc-lab orchestrator (see harness.hpp).
 //
 // Paper reference points: the CMP-equipped configurations cut misses
 // substantially (best: Transitive Closure, -26.7%); the suite average
@@ -13,27 +14,29 @@ int main() {
   using namespace hidisc;
   printf("=== Figure 9: L1 demand misses normalized to superscalar ===\n\n");
 
+  const auto plan = lab::plan_fig9();
+  const auto run = lab::run_plan(plan, bench::lab_options());
+
   stats::Table table({"Benchmark", "Superscalar", "CP+AP", "CP+CMP",
                       "HiDISC", "base miss rate"});
   double sum_hidisc = 0.0;
   int count = 0;
-  for (const auto& w : workloads::paper_suite()) {
-    const auto p = bench::prepare(w);
-    const auto base = bench::run_preset(p, machine::Preset::Superscalar);
-    const auto cpap = bench::run_preset(p, machine::Preset::CPAP);
-    const auto cpcmp = bench::run_preset(p, machine::Preset::CPCMP);
-    const auto hidisc = bench::run_preset(p, machine::Preset::HiDISC);
-    const auto rel = [&base](const machine::Result& r) {
-      return base.l1.demand_misses() == 0
+  for (const auto& c : plan.cells) {
+    if (c.preset != machine::Preset::Superscalar) continue;  // one per row
+    const auto& name = c.workload.name;
+    const auto& base = run.at(plan, name, machine::Preset::Superscalar);
+    const auto rel = [&](machine::Preset preset) {
+      const auto& r = run.at(plan, name, preset).result;
+      return base.result.l1.demand_misses() == 0
                  ? 1.0
                  : static_cast<double>(r.l1.demand_misses()) /
-                       static_cast<double>(base.l1.demand_misses());
+                       static_cast<double>(base.result.l1.demand_misses());
     };
-    table.add_row({w.name, "1.000", stats::Table::num(rel(cpap)),
-                   stats::Table::num(rel(cpcmp)),
-                   stats::Table::num(rel(hidisc)),
-                   stats::Table::num(base.l1.demand_miss_rate())});
-    sum_hidisc += rel(hidisc);
+    table.add_row({name, "1.000", stats::Table::num(rel(machine::Preset::CPAP)),
+                   stats::Table::num(rel(machine::Preset::CPCMP)),
+                   stats::Table::num(rel(machine::Preset::HiDISC)),
+                   stats::Table::num(base.result.l1.demand_miss_rate())});
+    sum_hidisc += rel(machine::Preset::HiDISC);
     ++count;
   }
   table.add_row({"MEAN", "1.000", "-", "-",
@@ -41,5 +44,7 @@ int main() {
   printf("%s\n", table.to_string().c_str());
   printf("Paper: HiDISC eliminates ~17%% of cache misses on average; the "
          "largest reduction is on Transitive Closure (-26.7%%).\n");
+  printf("[lab] %zu cells: %zu simulated, %zu cached, %.0f ms\n",
+         run.cells.size(), run.simulated, run.cache_hits, run.wall_ms);
   return 0;
 }

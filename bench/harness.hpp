@@ -1,15 +1,26 @@
 // Shared infrastructure for the paper-reproduction bench binaries.
 //
 // Each bench binary regenerates one table or figure of the paper
-// (DESIGN.md §4 maps experiment ids to binaries).  The harness compiles a
-// workload once, traces both binaries, and runs any machine preset against
-// the right binary.
+// (DESIGN.md §4 maps experiment ids to binaries).  The figure/table
+// binaries (Fig. 8/9/10, Table 2) run whole plans through the hidisc-lab
+// orchestrator (src/lab/) — parallel execution, memoized prep, persistent
+// result cache; the ablation binaries, which iterate over bespoke config
+// axes, use the direct prepare()/run_preset() path below.
+//
+// prepare() traces only the binaries the requested presets consume: a
+// plan that never runs CP+AP or HiDISC skips the separated-binary
+// functional trace (and vice versa), which previously was wasted work on
+// every bench start-up.
 #pragma once
 
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 #include "compiler/compile.hpp"
+#include "lab/runner.hpp"
+#include "lab/thread_pool.hpp"
 #include "machine/machine.hpp"
 #include "sim/functional.hpp"
 #include "stats/table.hpp"
@@ -20,18 +31,37 @@ namespace hidisc::bench {
 struct PreparedWorkload {
   std::string name;
   compiler::Compilation comp;
-  sim::Trace orig_trace;
-  sim::Trace sep_trace;
+  sim::Trace orig_trace;  // empty unless some requested preset needs it
+  sim::Trace sep_trace;   // empty unless some requested preset needs it
 };
+
+inline const std::vector<machine::Preset>& all_presets() {
+  return lab::all_presets();
+}
+
+// Compiles `w` and functionally traces exactly the binaries that
+// `presets` will consume.
+inline PreparedWorkload prepare(const workloads::BuiltWorkload& w,
+                                const std::vector<machine::Preset>& presets,
+                                const compiler::CompileOptions& opt = {}) {
+  PreparedWorkload p{w.name, compiler::compile(w.program, opt), {}, {}};
+  bool need_orig = false, need_sep = false;
+  for (const auto preset : presets)
+    (machine::uses_separated_binary(preset) ? need_sep : need_orig) = true;
+  if (need_orig) {
+    sim::Functional fo(p.comp.original);
+    p.orig_trace = fo.run_trace();
+  }
+  if (need_sep) {
+    sim::Functional fs(p.comp.separated);
+    p.sep_trace = fs.run_trace();
+  }
+  return p;
+}
 
 inline PreparedWorkload prepare(const workloads::BuiltWorkload& w,
                                 const compiler::CompileOptions& opt = {}) {
-  PreparedWorkload p{w.name, compiler::compile(w.program, opt), {}, {}};
-  sim::Functional fo(p.comp.original);
-  p.orig_trace = fo.run_trace();
-  sim::Functional fs(p.comp.separated);
-  p.sep_trace = fs.run_trace();
-  return p;
+  return prepare(w, all_presets(), opt);
 }
 
 inline machine::Result run_preset(const PreparedWorkload& p,
@@ -42,11 +72,14 @@ inline machine::Result run_preset(const PreparedWorkload& p,
                               sep ? p.sep_trace : p.orig_trace, preset, cfg);
 }
 
-inline const std::vector<machine::Preset>& all_presets() {
-  static const std::vector<machine::Preset> presets = {
-      machine::Preset::Superscalar, machine::Preset::CPAP,
-      machine::Preset::CPCMP, machine::Preset::HiDISC};
-  return presets;
+// Lab run options shared by the figure/table binaries: thread count from
+// $HILAB_THREADS (default: all cores), persistent cache from
+// $HILAB_CACHE_DIR (default: off, so bench runs stay self-contained).
+inline lab::RunOptions lab_options() {
+  lab::RunOptions opt;
+  opt.threads = lab::default_threads();
+  if (const char* dir = std::getenv("HILAB_CACHE_DIR")) opt.cache_dir = dir;
+  return opt;
 }
 
 }  // namespace hidisc::bench

@@ -1,0 +1,47 @@
+// Content hashing for the result cache (runner.hpp / result_cache.hpp).
+//
+// A cell's cache key is a 128-bit FNV-1a hash over (encoded program bytes,
+// preset name, canonical MachineConfig description): any change to the
+// simulated binary — workload data, compiler behaviour, CMAS annotations —
+// or to the machine parameters yields a new key, so stale cache entries
+// can never be returned.  The canonical descriptions are also useful on
+// their own for debugging ("why did this cell miss the cache?").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/compile.hpp"
+#include "isa/program.hpp"
+#include "machine/config.hpp"
+
+namespace hidisc::lab {
+
+// 64-bit FNV-1a, seedable so two independent streams give 128 bits.
+class Fnv1a {
+ public:
+  explicit Fnv1a(std::uint64_t seed = 0xcbf29ce484222325ull)
+      : state_(seed) {}
+
+  void update(const void* data, std::size_t n) noexcept;
+  void update(const std::string& s) noexcept { update(s.data(), s.size()); }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Canonical `key=value;` listing of every field that affects timing.
+// Appends here whenever MachineConfig/CompileOptions grow a field — the
+// lab_test fingerprint-sensitivity test guards the common cases.
+[[nodiscard]] std::string describe(const machine::MachineConfig& cfg);
+[[nodiscard]] std::string describe(const compiler::CompileOptions& opt);
+
+// 32-hex-digit content key of one simulation: the exact binary fed to the
+// machine (post-compilation, annotations included), the preset, and the
+// machine configuration.
+[[nodiscard]] std::string content_key(const isa::Program& binary,
+                                      machine::Preset preset,
+                                      const machine::MachineConfig& cfg);
+
+}  // namespace hidisc::lab

@@ -1,0 +1,90 @@
+#include "lab/result_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "lab/serialize.hpp"
+
+namespace fs = std::filesystem;
+
+namespace hidisc::lab {
+
+namespace {
+constexpr const char* kHeader = "hilab-result v1";
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("hilab: cannot create cache directory " + dir_);
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".result")).string();
+}
+
+std::optional<CacheEntry> ResultCache::load(const std::string& key) const {
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  std::map<std::string, std::string> fields;
+  CacheEntry entry;
+  while (std::getline(in, line)) {
+    const auto space = line.find(' ');
+    if (space == std::string::npos) return std::nullopt;  // torn file
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (name == "meta.workload")
+      entry.workload = value;
+    else if (name == "meta.preset")
+      entry.preset = value;
+    else if (name == "meta.orig_dyn_insts")
+      entry.orig_dynamic_instructions = std::strtoull(value.c_str(), nullptr, 10);
+    else
+      fields[name] = value;
+  }
+  entry.result = result_from_fields(fields);
+  return entry;
+}
+
+bool ResultCache::store(const std::string& key,
+                        const CacheEntry& entry) const {
+  std::ostringstream body;
+  body << kHeader << '\n'
+       << "meta.workload " << entry.workload << '\n'
+       << "meta.preset " << entry.preset << '\n'
+       << "meta.orig_dyn_insts " << entry.orig_dynamic_instructions << '\n';
+  for (const auto& [name, value] : result_to_fields(entry.result))
+    body << name << ' ' << value << '\n';
+
+  // Unique temp name per writer, then atomic rename into place.
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  const std::string tmp = path_for(key) + ".tmp." + tid.str();
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << body.str();
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path_for(key), ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hidisc::lab

@@ -1,0 +1,55 @@
+// Persistent on-disk cache of simulation results, content-addressed by
+// fingerprint::content_key — one small text file per cell under the cache
+// directory:
+//
+//   <dir>/<32-hex key>.result
+//     hilab-result v1
+//     meta.workload <display name>
+//     meta.preset <preset name>
+//     meta.orig_dyn_insts <count>
+//     cycles 123456
+//     ipc 2.3409...
+//     ... (every visit_result_fields name, one per line)
+//
+// Writes go through a per-process temp file + atomic rename, so parallel
+// runners (threads or separate processes) sharing a directory never
+// observe a torn entry.  A malformed or truncated file is treated as a
+// miss, never an error: the cache is an accelerator, not a dependency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "machine/result.hpp"
+
+namespace hidisc::lab {
+
+struct CacheEntry {
+  machine::Result result;
+  std::string workload;  // display name, informational
+  std::string preset;    // preset name, informational
+  // Dynamic instruction count of the *original* (unseparated) binary;
+  // exports use it to normalize IPC across binaries (Figure 10).
+  std::uint64_t orig_dynamic_instructions = 0;
+};
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) when missing; throws std::runtime_error
+  // if that fails.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] std::optional<CacheEntry> load(const std::string& key) const;
+  // Returns false (and leaves the cache unchanged) on I/O failure.
+  bool store(const std::string& key, const CacheEntry& entry) const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+};
+
+}  // namespace hidisc::lab

@@ -1,0 +1,221 @@
+#include "lab/runner.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "lab/fingerprint.hpp"
+#include "lab/result_cache.hpp"
+#include "lab/thread_pool.hpp"
+#include "machine/machine.hpp"
+#include "sim/functional.hpp"
+
+namespace hidisc::lab {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// One distinct (workload spec, compile options) pair and everything
+// derived from it.  Cells hold stable pointers into the prep map; all
+// fields are written by exactly one pool task per wave and read-only
+// afterwards, so cross-thread access needs no locking beyond the waves'
+// pool.wait() barriers.
+struct Prep {
+  WorkloadSpec spec;
+  compiler::CompileOptions options;
+
+  compiler::Compilation comp;
+  bool need_orig = false, need_sep = false;  // traces wanted by miss cells
+  sim::Trace orig_trace, sep_trace;
+  // Failure slots: one per producing task, so no two writers share one.
+  std::optional<std::string> error;       // compile failure (wave 1)
+  std::optional<std::string> error_orig;  // original-trace failure (wave 3)
+  std::optional<std::string> error_sep;   // separated-trace failure (wave 3)
+};
+
+struct CellState {
+  const Cell* cell = nullptr;
+  Prep* prep = nullptr;
+  CellResult out;
+  std::optional<std::string> error;
+};
+
+}  // namespace
+
+const CellResult& PlanRun::at(const ExperimentPlan& plan,
+                              const std::string& workload,
+                              machine::Preset preset,
+                              const std::string& tag) const {
+  const auto idx = plan.find(workload, preset, tag);
+  if (idx < 0)
+    throw std::out_of_range("plan " + plan.name + " has no cell " + workload +
+                            "/" + machine::preset_name(preset));
+  return cells.at(static_cast<std::size_t>(idx));
+}
+
+PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
+  const auto start = Clock::now();
+  PlanRun run;
+  run.cells.resize(plan.cells.size());
+
+  std::optional<ResultCache> cache;
+  if (!opt.cache_dir.empty()) cache.emplace(opt.cache_dir);
+
+  // Group cells by prep identity.  std::map keeps pointer stability and a
+  // deterministic iteration order.
+  std::map<std::string, Prep> preps;
+  std::vector<CellState> cells(plan.cells.size());
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    const Cell& c = plan.cells[i];
+    const std::string prep_key = c.workload.id() + "|" + describe(c.compile);
+    auto [it, inserted] = preps.try_emplace(prep_key);
+    if (inserted) {
+      it->second.spec = c.workload;
+      it->second.options = c.compile;
+    }
+    cells[i].cell = &c;
+    cells[i].prep = &it->second;
+  }
+
+  ThreadPool pool(opt.threads);
+  std::mutex mu;  // guards progress counters + on_cell
+  std::size_t done = 0;
+
+  const auto report = [&](const Cell& cell, bool from_cache) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++done;
+    if (opt.on_cell) opt.on_cell(cell, done, plan.cells.size(), from_cache);
+  };
+
+  // Wave 1: build + compile each distinct prep once.
+  for (auto& [key, prep] : preps) {
+    Prep* p = &prep;
+    pool.submit([p] {
+      try {
+        const workloads::BuiltWorkload w = p->spec.build();
+        p->comp = compiler::compile(w.program, p->options);
+      } catch (const std::exception& e) {
+        p->error = e.what();
+      }
+    });
+  }
+  pool.wait();
+  run.preps = preps.size();
+  for (const auto& [key, prep] : preps)
+    if (prep.error)
+      throw std::runtime_error("hilab prep " + prep.spec.name +
+                               " failed: " + *prep.error);
+
+  // Wave 2: content keys + cache probes (cheap; hashing only).
+  for (auto& cs : cells) {
+    pool.submit([&cs, &cache, &opt, &report] {
+      const Cell& c = *cs.cell;
+      const bool sep = machine::uses_separated_binary(c.preset);
+      const isa::Program& binary =
+          sep ? cs.prep->comp.separated : cs.prep->comp.original;
+      cs.out.key = content_key(binary, c.preset, c.config);
+      cs.out.orig_dynamic_instructions =
+          cs.prep->comp.profile.dynamic_instructions;
+      if (cache && !opt.refresh) {
+        if (auto hit = cache->load(cs.out.key)) {
+          cs.out.result = hit->result;
+          cs.out.orig_dynamic_instructions = hit->orig_dynamic_instructions;
+          cs.out.from_cache = true;
+          report(c, /*from_cache=*/true);
+        }
+      }
+    });
+  }
+  pool.wait();
+
+  // Wave 3: functionally trace only the binaries miss cells will run.
+  for (const auto& cs : cells)
+    if (!cs.out.from_cache) {
+      if (machine::uses_separated_binary(cs.cell->preset))
+        cs.prep->need_sep = true;
+      else
+        cs.prep->need_orig = true;
+    }
+  for (auto& [key, prep] : preps) {
+    Prep* p = &prep;
+    if (p->need_orig) {
+      pool.submit([p] {
+        try {
+          sim::Functional f(p->comp.original);
+          p->orig_trace = f.run_trace(p->options.max_steps);
+        } catch (const std::exception& e) {
+          p->error_orig = e.what();
+        }
+      });
+      ++run.traces;
+    }
+    if (p->need_sep) {
+      pool.submit([p] {
+        try {
+          sim::Functional f(p->comp.separated);
+          p->sep_trace = f.run_trace(p->options.max_steps);
+        } catch (const std::exception& e) {
+          p->error_sep = e.what();
+        }
+      });
+      ++run.traces;
+    }
+  }
+  pool.wait();
+  for (const auto& [key, prep] : preps)
+    for (const auto* err : {&prep.error_orig, &prep.error_sep})
+      if (*err)
+        throw std::runtime_error("hilab trace " + prep.spec.name +
+                                 " failed: " + **err);
+
+  // Wave 4: simulate the misses; persist each result as it lands.
+  for (auto& cs : cells) {
+    if (cs.out.from_cache) continue;
+    pool.submit([&cs, &cache, &report] {
+      const Cell& c = *cs.cell;
+      const bool sep = machine::uses_separated_binary(c.preset);
+      const auto cell_start = Clock::now();
+      try {
+        cs.out.result = machine::run_machine(
+            sep ? cs.prep->comp.separated : cs.prep->comp.original,
+            sep ? cs.prep->sep_trace : cs.prep->orig_trace, c.preset,
+            c.config);
+      } catch (const std::exception& e) {
+        cs.error = e.what();
+        return;
+      }
+      cs.out.wall_ms = ms_since(cell_start);
+      if (cache)
+        cache->store(cs.out.key,
+                     CacheEntry{cs.out.result, c.workload.name,
+                                machine::preset_name(c.preset),
+                                cs.out.orig_dynamic_instructions});
+      report(c, /*from_cache=*/false);
+    });
+  }
+  pool.wait();
+
+  for (auto& cs : cells) {
+    if (cs.error)
+      throw std::runtime_error("hilab cell " + cs.cell->workload.name + "/" +
+                               machine::preset_name(cs.cell->preset) +
+                               " failed: " + *cs.error);
+    run.cache_hits += cs.out.from_cache ? 1 : 0;
+    run.simulated += cs.out.from_cache ? 0 : 1;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    run.cells[i] = std::move(cells[i].out);
+  run.wall_ms = ms_since(start);
+  return run;
+}
+
+}  // namespace hidisc::lab

@@ -1,0 +1,76 @@
+// The hidisc-lab experiment runner.
+//
+// Executes an ExperimentPlan's cells across a work-stealing thread pool in
+// four waves, each wave fanning independent units across all workers:
+//
+//   1. prep/compile — each distinct (workload spec, compile options) pair
+//      is built and compiled exactly once, shared read-only by every cell
+//      that references it (the memoized-prep layer the bench binaries used
+//      to re-do per binary);
+//   2. cache probe — each cell's content key (program bytes, preset,
+//      config) is hashed and looked up in the on-disk ResultCache; hits
+//      are done, and only the *binaries that still have missing cells* get
+//      functionally traced in wave
+//   3. trace — at most two traces (original / separated) per compilation;
+//   4. simulate — every remaining cell runs the cycle-level machine and
+//      stores its result back into the cache.
+//
+// Results are returned indexed by cell, so the output is bit-identical
+// for any thread count — parallelism changes wall-clock, never numbers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lab/plan.hpp"
+#include "machine/result.hpp"
+
+namespace hidisc::lab {
+
+struct RunOptions {
+  int threads = 1;
+  // On-disk result cache directory; empty disables persistent caching
+  // (prep memoization within the run still applies).
+  std::string cache_dir;
+  // Ignore (but still refresh) existing cache entries.
+  bool refresh = false;
+  // Progress callback, invoked as each cell finishes; serialized by the
+  // runner, so it may print.  `done`/`total` count finished/all cells.
+  std::function<void(const Cell& cell, std::size_t done, std::size_t total,
+                     bool from_cache)>
+      on_cell;
+};
+
+struct CellResult {
+  machine::Result result;
+  std::string key;  // 32-hex content key (cache file basename)
+  // Dynamic instruction count of the original (unseparated) binary; use
+  // for cross-binary IPC normalization.  Served from the cache entry on
+  // hits, so it is available even when the compilation was skipped.
+  std::uint64_t orig_dynamic_instructions = 0;
+  bool from_cache = false;
+  double wall_ms = 0.0;  // simulation time; 0 for cache hits
+};
+
+struct PlanRun {
+  std::vector<CellResult> cells;  // parallel to plan.cells
+  std::size_t simulated = 0;      // cells that ran the timing machine
+  std::size_t cache_hits = 0;
+  std::size_t preps = 0;  // distinct compilations performed
+  std::size_t traces = 0; // functional traces recorded
+  double wall_ms = 0.0;   // whole-plan wall clock
+
+  [[nodiscard]] const CellResult& at(const ExperimentPlan& plan,
+                                     const std::string& workload,
+                                     machine::Preset preset,
+                                     const std::string& tag = "") const;
+};
+
+// Runs every cell of `plan`; throws std::runtime_error when a cell's
+// simulation throws (the first error, after all workers drain).
+[[nodiscard]] PlanRun run_plan(const ExperimentPlan& plan,
+                               const RunOptions& opt = {});
+
+}  // namespace hidisc::lab

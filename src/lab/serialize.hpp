@@ -1,0 +1,118 @@
+// machine::Result <-> flat named fields, and the JSON/CSV exporters.
+//
+// One visitor (`visit_result_fields`) enumerates every scalar field of a
+// Result under a stable dotted name ("l1.read_misses", "cp.lod_stalls").
+// The on-disk cache format, the JSON export, the CSV export, and the
+// exact-equality test helper are all derived from that single listing, so
+// a field added to Result shows up everywhere by adding one line here.
+//
+// JSON schema (docs/LAB.md documents it for external consumers):
+//   { "plan": str, "description": str, "threads": int, "wall_ms": num,
+//     "cells": [ { "workload": str, "preset": str, "tag": str,
+//                  "key": str, "cached": bool, "wall_ms": num,
+//                  "orig_dynamic_instructions": int,
+//                  "result": { "<dotted field>": num, ... } } ] }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "machine/result.hpp"
+
+namespace hidisc::lab {
+
+namespace detail {
+
+template <class R, class V>
+void visit_cache_stats(const std::string& p, R& s, V&& v) {
+  v(p + ".reads", s.reads);
+  v(p + ".read_misses", s.read_misses);
+  v(p + ".writes", s.writes);
+  v(p + ".write_misses", s.write_misses);
+  v(p + ".prefetches", s.prefetches);
+  v(p + ".prefetch_misses", s.prefetch_misses);
+  v(p + ".evictions", s.evictions);
+  v(p + ".writebacks", s.writebacks);
+  v(p + ".useful_prefetches", s.useful_prefetches);
+  v(p + ".late_fill_hits", s.late_fill_hits);
+  v(p + ".late_prefetch_hits", s.late_prefetch_hits);
+}
+
+template <class R, class V>
+void visit_core_stats(const std::string& p, R& s, V&& v) {
+  v(p + ".committed", s.committed);
+  v(p + ".committed_all", s.committed_all);
+  v(p + ".loads", s.loads);
+  v(p + ".stores", s.stores);
+  v(p + ".forwarded_loads", s.forwarded_loads);
+  v(p + ".window_full_stalls", s.window_full_stalls);
+  v(p + ".queue_full_commit_stalls", s.queue_full_commit_stalls);
+  v(p + ".head_pop_empty_stalls", s.head_pop_empty_stalls);
+  v(p + ".lod_stalls", s.lod_stalls);
+  v(p + ".busy_cycles", s.busy_cycles);
+}
+
+template <class R, class V>
+void visit_fifo_stats(const std::string& p, R& s, V&& v) {
+  v(p + ".pushes", s.pushes);
+  v(p + ".pops", s.pops);
+  v(p + ".full_stall_cycles", s.full_stall_cycles);
+  v(p + ".empty_stall_cycles", s.empty_stall_cycles);
+  v(p + ".max_occupancy", s.max_occupancy);
+}
+
+}  // namespace detail
+
+// `R` is machine::Result or const machine::Result; `v(name, fieldref)` is
+// invoked once per scalar field with a reference of the field's own type
+// (uint64_t, size_t, double, bool, int64_t).
+template <class R, class V>
+void visit_result_fields(R& r, V&& v) {
+  v(std::string("cycles"), r.cycles);
+  v(std::string("instructions"), r.instructions);
+  v(std::string("ipc"), r.ipc);
+  detail::visit_cache_stats("l1", r.l1, v);
+  detail::visit_cache_stats("l2", r.l2, v);
+  v(std::string("branch.lookups"), r.branch.lookups);
+  v(std::string("branch.mispredicts"), r.branch.mispredicts);
+  v(std::string("has_main"), r.has_main);
+  v(std::string("has_cp"), r.has_cp);
+  v(std::string("has_ap"), r.has_ap);
+  v(std::string("has_cmp"), r.has_cmp);
+  detail::visit_core_stats("main", r.main, v);
+  detail::visit_core_stats("cp", r.cp, v);
+  detail::visit_core_stats("ap", r.ap, v);
+  detail::visit_core_stats("cmp", r.cmp, v);
+  detail::visit_fifo_stats("ldq", r.ldq, v);
+  detail::visit_fifo_stats("sdq", r.sdq, v);
+  detail::visit_fifo_stats("scq", r.scq, v);
+  v(std::string("fetch_stall_branch_cycles"), r.fetch_stall_branch_cycles);
+  v(std::string("fetch_stall_queue_full"), r.fetch_stall_queue_full);
+  v(std::string("cmas_forks"), r.cmas_forks);
+  v(std::string("cmas_forks_dropped"), r.cmas_forks_dropped);
+  v(std::string("cmas_forks_suppressed"), r.cmas_forks_suppressed);
+  v(std::string("cmas_uops"), r.cmas_uops);
+  v(std::string("distance_adaptations"), r.distance_adaptations);
+  v(std::string("final_fork_lookahead"), r.final_fork_lookahead);
+}
+
+// Flat name -> textual value map.  Doubles are rendered with %.17g so the
+// round-trip is bit-exact (the cache-hit tests rely on it).
+[[nodiscard]] std::map<std::string, std::string> result_to_fields(
+    const machine::Result& r);
+// Inverse; unknown names are ignored, absent names keep their defaults.
+[[nodiscard]] machine::Result result_from_fields(
+    const std::map<std::string, std::string>& fields);
+
+// True when every visited field compares equal (doubles bit-for-bit).
+[[nodiscard]] bool results_identical(const machine::Result& a,
+                                     const machine::Result& b);
+
+// JSON string escaping + number formatting helpers shared by the export
+// and the cache.
+[[nodiscard]] std::string json_escape(const std::string& s);
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace hidisc::lab

@@ -1,0 +1,264 @@
+// hidisc-lab orchestrator tests: parallel/serial equivalence, persistent
+// result caching, content-key sensitivity, determinism, serialization
+// round-trips, and the export formats.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include "lab/export.hpp"
+#include "lab/fingerprint.hpp"
+#include "lab/plan.hpp"
+#include "lab/result_cache.hpp"
+#include "lab/runner.hpp"
+#include "lab/serialize.hpp"
+#include "lab/thread_pool.hpp"
+#include "machine/machine.hpp"
+
+namespace {
+
+using namespace hidisc;
+namespace fs = std::filesystem;
+
+// A small but non-trivial plan: two workloads under all four presets plus
+// one swept-config cell, at test scale so the whole file stays fast.
+lab::ExperimentPlan tiny_plan() {
+  lab::ExperimentPlan plan{"tiny", "lab_test plan", {}};
+  for (const char* name : {"Pointer", "Update"})
+    for (const auto preset : lab::all_presets())
+      plan.cells.push_back(
+          lab::Cell{lab::spec(name, workloads::Scale::Test), preset, {}, {},
+                    ""});
+  machine::MachineConfig slow;
+  slow.mem = mem::MemConfig::with_latencies(16, 160);
+  plan.cells.push_back(lab::Cell{lab::spec("Pointer", workloads::Scale::Test),
+                                 machine::Preset::HiDISC, slow, {},
+                                 "16/160"});
+  return plan;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag)
+      : path_((fs::temp_directory_path() /
+               (std::string("hidisc_lab_test_") + tag + "_" +
+                std::to_string(::getpid())))
+                  .string()) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+machine::Result nonzero_result() {
+  machine::Result r;
+  r.cycles = 123456789;
+  r.instructions = 7654321;
+  r.ipc = 0.62000000000000011;  // not exactly representable in few digits
+  r.l1.reads = 42;
+  r.l1.read_misses = 7;
+  r.l2.writebacks = 9;
+  r.branch.lookups = 1000;
+  r.branch.mispredicts = 31;
+  r.has_cp = true;
+  r.cp.lod_stalls = 17;
+  r.ldq.max_occupancy = 13;
+  r.cmas_forks = 99;
+  r.final_fork_lookahead = -384;
+  return r;
+}
+
+TEST(LabPlan, NamedPlansEnumerate) {
+  for (const auto& name : lab::plan_names()) {
+    const auto plan = lab::make_plan(name, workloads::Scale::Test);
+    EXPECT_EQ(plan.name, name);
+    EXPECT_FALSE(plan.cells.empty()) << name;
+  }
+  EXPECT_EQ(lab::plan_fig8(workloads::Scale::Test).cells.size(), 7u * 4u);
+  EXPECT_EQ(lab::plan_fig10(workloads::Scale::Test).cells.size(),
+            2u * 4u * 4u);
+  EXPECT_THROW(lab::make_plan("bogus", workloads::Scale::Test),
+               std::out_of_range);
+}
+
+TEST(LabThreadPool, RunsEverySubmittedTask) {
+  lab::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+  // Tasks may submit children; wait() must cover them too.
+  pool.submit([&pool, &count] {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { count.fetch_add(1); });
+  });
+  pool.wait();
+  EXPECT_EQ(count.load(), 110);
+}
+
+TEST(LabSerialize, ResultRoundTripsExactly) {
+  const machine::Result r = nonzero_result();
+  const auto fields = lab::result_to_fields(r);
+  const machine::Result back = lab::result_from_fields(fields);
+  EXPECT_TRUE(lab::results_identical(r, back));
+  EXPECT_EQ(back.cycles, r.cycles);
+  EXPECT_EQ(back.ipc, r.ipc);  // bit-exact through %.17g
+  EXPECT_EQ(back.cp.lod_stalls, r.cp.lod_stalls);
+  EXPECT_TRUE(back.has_cp);
+  EXPECT_FALSE(back.has_ap);
+  // A differing field must be detected.
+  machine::Result other = r;
+  other.l2.writebacks++;
+  EXPECT_FALSE(lab::results_identical(r, other));
+}
+
+TEST(LabResultCache, StoreThenLoadIdentical) {
+  TempDir dir("cache_roundtrip");
+  lab::ResultCache cache(dir.path());
+  lab::CacheEntry entry{nonzero_result(), "Pointer", "HiDISC", 123456};
+  const std::string key(32, 'a');
+  EXPECT_FALSE(cache.load(key).has_value());
+  ASSERT_TRUE(cache.store(key, entry));
+  const auto back = cache.load(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(lab::results_identical(back->result, entry.result));
+  EXPECT_EQ(back->workload, "Pointer");
+  EXPECT_EQ(back->preset, "HiDISC");
+  EXPECT_EQ(back->orig_dynamic_instructions, 123456u);
+}
+
+TEST(LabFingerprint, KeyChangesWithConfigPresetAndProgram) {
+  const auto w = lab::spec("Pointer", workloads::Scale::Test).build();
+  const auto comp = compiler::compile(w.program);
+
+  const machine::MachineConfig base_cfg;
+  const auto key =
+      lab::content_key(comp.original, machine::Preset::Superscalar, base_cfg);
+  EXPECT_EQ(key.size(), 32u);
+
+  // Same inputs -> same key.
+  EXPECT_EQ(key, lab::content_key(comp.original,
+                                  machine::Preset::Superscalar, base_cfg));
+  // Any config change -> new key.
+  machine::MachineConfig slow = base_cfg;
+  slow.mem.dram_latency = 400;
+  EXPECT_NE(key, lab::content_key(comp.original,
+                                  machine::Preset::Superscalar, slow));
+  machine::MachineConfig narrow = base_cfg;
+  narrow.fetch_width = 4;
+  EXPECT_NE(key, lab::content_key(comp.original,
+                                  machine::Preset::Superscalar, narrow));
+  machine::MachineConfig cmp_tweak = base_cfg;
+  cmp_tweak.cmp_fork_lookahead = 512;
+  EXPECT_NE(key, lab::content_key(comp.original,
+                                  machine::Preset::Superscalar, cmp_tweak));
+  // Preset and binary changes -> new key.
+  EXPECT_NE(key, lab::content_key(comp.original, machine::Preset::CPCMP,
+                                  base_cfg));
+  EXPECT_NE(key, lab::content_key(comp.separated,
+                                  machine::Preset::Superscalar, base_cfg));
+}
+
+TEST(LabRunner, ParallelMatchesSerialCellForCell) {
+  const auto plan = tiny_plan();
+  lab::RunOptions serial;
+  serial.threads = 1;
+  lab::RunOptions parallel;
+  parallel.threads = 4;
+  const auto a = lab::run_plan(plan, serial);
+  const auto b = lab::run_plan(plan, parallel);
+  ASSERT_EQ(a.cells.size(), plan.cells.size());
+  ASSERT_EQ(b.cells.size(), plan.cells.size());
+  EXPECT_EQ(a.simulated, plan.cells.size());
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    EXPECT_TRUE(lab::results_identical(a.cells[i].result, b.cells[i].result))
+        << "cell " << i << " (" << plan.cells[i].workload.name << "/"
+        << machine::preset_name(plan.cells[i].preset) << ")";
+    EXPECT_EQ(a.cells[i].key, b.cells[i].key);
+    EXPECT_EQ(a.cells[i].orig_dynamic_instructions,
+              b.cells[i].orig_dynamic_instructions);
+  }
+}
+
+TEST(LabRunner, WarmCacheSimulatesNothingAndMatches) {
+  TempDir dir("warm_cache");
+  const auto plan = tiny_plan();
+  lab::RunOptions opt;
+  opt.threads = 2;
+  opt.cache_dir = dir.path();
+
+  const auto cold = lab::run_plan(plan, opt);
+  EXPECT_EQ(cold.simulated, plan.cells.size());
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.traces, 0u);
+
+  const auto warm = lab::run_plan(plan, opt);
+  EXPECT_EQ(warm.simulated, 0u);
+  EXPECT_EQ(warm.cache_hits, plan.cells.size());
+  EXPECT_EQ(warm.traces, 0u);  // no functional tracing on a warm cache
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    EXPECT_TRUE(warm.cells[i].from_cache);
+    EXPECT_TRUE(
+        lab::results_identical(cold.cells[i].result, warm.cells[i].result));
+    EXPECT_EQ(cold.cells[i].orig_dynamic_instructions,
+              warm.cells[i].orig_dynamic_instructions);
+  }
+
+  // --refresh ignores the warm entries and re-simulates.
+  lab::RunOptions refresh = opt;
+  refresh.refresh = true;
+  const auto forced = lab::run_plan(plan, refresh);
+  EXPECT_EQ(forced.simulated, plan.cells.size());
+  for (std::size_t i = 0; i < plan.cells.size(); ++i)
+    EXPECT_TRUE(
+        lab::results_identical(cold.cells[i].result, forced.cells[i].result));
+}
+
+// Determinism regression: the same (workload, preset) simulated twice in
+// one process yields identical cycles/IPC/cache statistics.
+TEST(LabRunner, RepeatedSimulationIsDeterministic) {
+  const auto w = lab::spec("Update", workloads::Scale::Test).build();
+  const auto comp = compiler::compile(w.program);
+  for (const auto preset : lab::all_presets()) {
+    const bool sep = machine::uses_separated_binary(preset);
+    sim::Functional f(sep ? comp.separated : comp.original);
+    const sim::Trace trace = f.run_trace();
+    const auto r1 = machine::run_machine(
+        sep ? comp.separated : comp.original, trace, preset);
+    const auto r2 = machine::run_machine(
+        sep ? comp.separated : comp.original, trace, preset);
+    EXPECT_EQ(r1.cycles, r2.cycles) << machine::preset_name(preset);
+    EXPECT_EQ(r1.ipc, r2.ipc) << machine::preset_name(preset);
+    EXPECT_TRUE(lab::results_identical(r1, r2))
+        << machine::preset_name(preset);
+  }
+}
+
+TEST(LabExport, JsonAndCsvCoverEveryCell) {
+  const auto plan = tiny_plan();
+  lab::RunOptions opt;
+  opt.threads = 2;
+  const auto run = lab::run_plan(plan, opt);
+
+  const std::string json = lab::to_json(plan, run, lab::ExportMeta{2});
+  EXPECT_NE(json.find("\"plan\": \"tiny\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"Pointer\""), std::string::npos);
+  EXPECT_NE(json.find("\"preset\": \"HiDISC\""), std::string::npos);
+  EXPECT_NE(json.find("\"tag\": \"16/160\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+  EXPECT_NE(json.find("\"l1.read_misses\":"), std::string::npos);
+
+  const std::string csv = lab::to_csv(plan, run);
+  // Header + one row per cell.
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, plan.cells.size() + 1);
+}
+
+}  // namespace

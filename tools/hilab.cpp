@@ -1,0 +1,163 @@
+// hilab — the hidisc-lab experiment orchestrator CLI.
+//
+// Runs a named experiment plan (each reproducing one paper figure/table,
+// or arbitrary sweeps) across a thread pool, memoizing workload
+// compilation and functional tracing, consulting the persistent result
+// cache, and exporting machine-readable JSON/CSV.
+//
+//   hilab --list
+//   hilab --plan fig8 [--threads N] [--scale paper|test]
+//         [--cache-dir DIR | --no-cache] [--refresh]
+//         [--json FILE|-] [--csv FILE|-] [--quiet]
+//
+// Guarantees: results are bit-identical for every --threads value, and a
+// second invocation against a warm cache simulates zero cells.
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "lab/export.hpp"
+#include "lab/plan.hpp"
+#include "lab/runner.hpp"
+#include "lab/thread_pool.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace hidisc;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --plan NAME [options]\n"
+      "       %s --list\n"
+      "options:\n"
+      "  --plan NAME       experiment plan to run (see --list)\n"
+      "  --threads N       worker threads (default: HILAB_THREADS or all "
+      "cores)\n"
+      "  --scale SCALE     workload scale: paper (default) or test\n"
+      "  --cache-dir DIR   result cache location (default: .hilab-cache)\n"
+      "  --no-cache        disable the persistent result cache\n"
+      "  --refresh         ignore existing cache entries, overwrite them\n"
+      "  --json FILE       export full results as JSON ('-' = stdout)\n"
+      "  --csv FILE        export summary rows as CSV ('-' = stdout)\n"
+      "  --quiet           suppress the per-cell progress line\n",
+      argv0, argv0);
+  return 2;
+}
+
+int list_plans() {
+  std::printf("available plans (workload scale via --scale):\n");
+  for (const auto& name : lab::plan_names()) {
+    const auto plan = lab::make_plan(name, workloads::Scale::Paper);
+    std::printf("  %-8s %3zu cells  %s\n", name.c_str(), plan.cells.size(),
+                plan.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string plan_name, json_path, csv_path;
+  std::string cache_dir = ".hilab-cache";
+  workloads::Scale scale = workloads::Scale::Paper;
+  int threads = lab::default_threads();
+  bool refresh = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--list") return list_plans();
+      if (arg == "--plan") plan_name = value();
+      else if (arg == "--threads") {
+        const std::string v = value();
+        try {
+          threads = std::stoi(v);
+        } catch (const std::exception&) {
+          throw std::runtime_error("--threads needs an integer, got '" + v + "'");
+        }
+      }
+      else if (arg == "--scale") {
+        const std::string s = value();
+        if (s == "paper") scale = workloads::Scale::Paper;
+        else if (s == "test") scale = workloads::Scale::Test;
+        else throw std::runtime_error("unknown scale: " + s);
+      }
+      else if (arg == "--cache-dir") cache_dir = value();
+      else if (arg == "--no-cache") cache_dir.clear();
+      else if (arg == "--refresh") refresh = true;
+      else if (arg == "--json") json_path = value();
+      else if (arg == "--csv") csv_path = value();
+      else if (arg == "--quiet") quiet = true;
+      else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+      else throw std::runtime_error("unknown option: " + arg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hilab: %s\n", e.what());
+      return usage(argv[0]);
+    }
+  }
+  if (plan_name.empty()) return usage(argv[0]);
+  if (threads < 1) {
+    std::fprintf(stderr, "hilab: --threads must be >= 1\n");
+    return 2;
+  }
+
+  try {
+    const lab::ExperimentPlan plan = lab::make_plan(plan_name, scale);
+
+    lab::RunOptions opt;
+    opt.threads = threads;
+    opt.cache_dir = cache_dir;
+    opt.refresh = refresh;
+    if (!quiet)
+      opt.on_cell = [](const lab::Cell& cell, std::size_t done,
+                       std::size_t total, bool from_cache) {
+        std::fprintf(stderr, "[%3zu/%3zu] %-12s %-11s %-7s %s\n", done,
+                     total, cell.workload.name.c_str(),
+                     machine::preset_name(cell.preset), cell.tag.c_str(),
+                     from_cache ? "(cached)" : "simulated");
+      };
+
+    const lab::PlanRun run = lab::run_plan(plan, opt);
+
+    // An export aimed at stdout owns it: keep the human report off the pipe.
+    const bool stdout_export = json_path == "-" || csv_path == "-";
+    if (!stdout_export) {
+      stats::Table table({"Workload", "Preset", "Tag", "Cycles", "IPC",
+                          "L1 miss rate", "Source"});
+      for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+        const auto& c = plan.cells[i];
+        const auto& r = run.cells[i];
+        table.add_row({c.workload.name, machine::preset_name(c.preset),
+                       c.tag.empty() ? "-" : c.tag,
+                       std::to_string(r.result.cycles),
+                       stats::Table::num(r.result.ipc),
+                       stats::Table::num(r.result.l1.demand_miss_rate()),
+                       r.from_cache ? "cache" : "sim"});
+      }
+      std::printf("=== plan %s: %s ===\n\n%s\n", plan.name.c_str(),
+                  plan.description.c_str(), table.to_string().c_str());
+      std::printf(
+          "%zu cells: %zu simulated, %zu cache hits; %zu compilations, "
+          "%zu traces; %d threads; %.0f ms\n",
+          plan.cells.size(), run.simulated, run.cache_hits, run.preps,
+          run.traces, threads, run.wall_ms);
+    }
+
+    const lab::ExportMeta meta{threads};
+    if (!json_path.empty())
+      lab::write_text_file(json_path, lab::to_json(plan, run, meta));
+    if (!csv_path.empty())
+      lab::write_text_file(csv_path, lab::to_csv(plan, run));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hilab: %s\n", e.what());
+    return 1;
+  }
+}
