@@ -112,6 +112,36 @@ void BM_HidiscCycleSim(benchmark::State& state) {
 }
 BENCHMARK(BM_HidiscCycleSim);
 
+// Whole-machine throughput: the decoupled CP+AP machine running the
+// memory-bound Matrix stressmark at the Fig. 10 high-latency memory point
+// (L2 16 / DRAM 160), where most cycles find every core stalled behind a
+// miss.  This is the end-to-end number the CI perf-smoke job gates on
+// (tools/perf_gate.py against bench/baseline.json).  Arg 0 selects the
+// scheduler, so /0 vs /1 shows the event-skip speedup directly.
+void BM_FullMachine(benchmark::State& state) {
+  const auto w = workloads::make_matrix(workloads::Scale::Test);
+  const auto comp = compiler::compile(w.program);
+  sim::Functional f(comp.separated);
+  const auto trace = f.run_trace();
+  machine::MachineConfig cfg;
+  cfg.mem = mem::MemConfig::with_latencies(16, 160);
+  cfg.scheduler = static_cast<machine::SchedulerKind>(state.range(0));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = machine::run_machine(comp.separated, trace,
+                                        machine::Preset::CPAP, cfg);
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  state.SetLabel(std::string("items = simulated cycles, ") +
+                 (cfg.scheduler == machine::SchedulerKind::EventSkip
+                      ? "event-skip"
+                      : "lockstep"));
+}
+BENCHMARK(BM_FullMachine)
+    ->Arg(static_cast<int>(machine::SchedulerKind::EventSkip))
+    ->Arg(static_cast<int>(machine::SchedulerKind::Lockstep));
+
 void BM_CompilerPipeline(benchmark::State& state) {
   const auto w = workloads::make_raytrace(workloads::Scale::Test);
   for (auto _ : state) {

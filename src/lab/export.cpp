@@ -35,6 +35,8 @@ std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
       << "  \"description\": \"" << json_escape(plan.description) << "\",\n"
       << "  \"threads\": " << meta.threads << ",\n"
       << "  \"wall_ms\": " << format_double(run.wall_ms) << ",\n"
+      << "  \"sim_cycles_per_sec\": " << format_double(run.sim_cycles_per_sec)
+      << ",\n"
       << "  \"simulated\": " << run.simulated << ",\n"
       << "  \"cache_hits\": " << run.cache_hits << ",\n"
       << "  \"cells\": [\n";
@@ -47,6 +49,8 @@ std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
         << json_escape(c.tag) << "\", \"key\": \"" << json_escape(r.key)
         << "\", \"cached\": " << (r.from_cache ? "true" : "false")
         << ", \"wall_ms\": " << format_double(r.wall_ms)
+        << ", \"sim_cycles_per_sec\": "
+        << format_double(r.sim_cycles_per_sec)
         << ", \"orig_dynamic_instructions\": "
         << r.orig_dynamic_instructions << ", \"result\": ";
     append_result_object(out, r.result);

@@ -194,6 +194,10 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
         return;
       }
       cs.out.wall_ms = ms_since(cell_start);
+      if (cs.out.wall_ms > 0.0)
+        cs.out.sim_cycles_per_sec =
+            static_cast<double>(cs.out.result.cycles) * 1000.0 /
+            cs.out.wall_ms;
       if (cache)
         cache->store(cs.out.key,
                      CacheEntry{cs.out.result, c.workload.name,
@@ -211,6 +215,18 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
                                " failed: " + *cs.error);
     run.cache_hits += cs.out.from_cache ? 1 : 0;
     run.simulated += cs.out.from_cache ? 0 : 1;
+  }
+  {
+    double sim_ms = 0.0;
+    std::uint64_t sim_cycles = 0;
+    for (const auto& cs : cells) {
+      if (cs.out.from_cache) continue;
+      sim_ms += cs.out.wall_ms;
+      sim_cycles += cs.out.result.cycles;
+    }
+    if (sim_ms > 0.0)
+      run.sim_cycles_per_sec =
+          static_cast<double>(sim_cycles) * 1000.0 / sim_ms;
   }
   for (std::size_t i = 0; i < cells.size(); ++i)
     run.cells[i] = std::move(cells[i].out);

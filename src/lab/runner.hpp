@@ -52,6 +52,10 @@ struct CellResult {
   std::uint64_t orig_dynamic_instructions = 0;
   bool from_cache = false;
   double wall_ms = 0.0;  // simulation time; 0 for cache hits
+  // Simulator throughput for this cell: simulated cycles per wall-clock
+  // second (the number the event-skip scheduler exists to raise); 0 for
+  // cache hits.
+  double sim_cycles_per_sec = 0.0;
 };
 
 struct PlanRun {
@@ -61,6 +65,10 @@ struct PlanRun {
   std::size_t preps = 0;  // distinct compilations performed
   std::size_t traces = 0; // functional traces recorded
   double wall_ms = 0.0;   // whole-plan wall clock
+  // Aggregate simulator throughput: total simulated cycles divided by the
+  // summed per-cell simulation time, over the cells that actually ran the
+  // timing machine this run (0 when everything came from cache).
+  double sim_cycles_per_sec = 0.0;
 
   [[nodiscard]] const CellResult& at(const ExperimentPlan& plan,
                                      const std::string& workload,

@@ -32,6 +32,18 @@ enum class Preset : std::uint8_t { Superscalar, CPAP, CPCMP, HiDISC };
   return "?";
 }
 
+// How the machine advances simulated time.
+//
+//   EventSkip — the default: cores report their next self-scheduled event
+//     and the machine fast-forwards `now` across provably idle stretches
+//     (all cores stalled behind L2/DRAM misses), replaying the skipped
+//     per-cycle stall counters exactly.  Results are bit-identical with
+//     Lockstep; set HIDISC_LOCKSTEP=1 to run both side by side and assert
+//     that on every run.
+//   Lockstep — tick every core at every cycle (the seed scheduler);
+//     retained as the reference for equivalence checking.
+enum class SchedulerKind : std::uint8_t { EventSkip, Lockstep };
+
 // True when the preset consumes the stream-separated binary.
 [[nodiscard]] constexpr bool uses_separated_binary(Preset p) noexcept {
   return p == Preset::CPAP || p == Preset::HiDISC;
@@ -124,7 +136,13 @@ struct MachineConfig {
   std::int64_t cmp_max_runahead = 1024;
 
   // Abort threshold for a machine making no forward progress (model bug).
+  // Counted over stalled *event steps*, not raw cycle deltas, so a legal
+  // multi-thousand-cycle fast-forward never trips it.
   std::uint64_t watchdog_cycles = 1'000'000;
+
+  // Time-advance strategy; excluded from lab content keys because both
+  // schedulers produce bit-identical results.
+  SchedulerKind scheduler = SchedulerKind::EventSkip;
 };
 
 }  // namespace hidisc::machine

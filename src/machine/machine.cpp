@@ -1,8 +1,11 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "uarch/event.hpp"
 
 namespace hidisc::machine {
 
@@ -16,6 +19,18 @@ namespace {
 // Trace entries a CMP context may scan per cycle while hunting for its
 // slice's instructions; models the CMP front end's slice-fetch rate.
 constexpr std::size_t kCmpScanBudget = 64;
+
+// Floor of stalled event steps before the watchdog may fire.  Keeps the
+// deadlock net while making it immune to long legal fast-forwards: a
+// single skip over N idle cycles is one step, not N.
+constexpr std::uint64_t kWatchdogMinSteps = 64;
+
+// HIDISC_LOCKSTEP=1 shadows every event-skip run with a lock-stepped run
+// of the same inputs and asserts bit-identical Results.
+bool lockstep_verify_requested() {
+  const char* v = std::getenv("HIDISC_LOCKSTEP");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
 
 std::int16_t num_cmas_groups(const isa::Program& prog) {
   std::int16_t n = 0;
@@ -70,6 +85,9 @@ Machine::Machine(const isa::Program& prog, const sim::Trace& trace,
   }
   lookahead_ = cfg_.cmp_fork_lookahead;
   next_adapt_cycle_ = cfg_.cmp_adapt_interval;
+  // Only an event-skip run queries outstanding fills; don't make the
+  // lock-stepped reference pay for tracking them.
+  memsys_.set_event_tracking(cfg_.scheduler == SchedulerKind::EventSkip);
 }
 
 // Hill-climbing control of the fork distance (paper §6: "the prefetching
@@ -266,9 +284,10 @@ void Machine::fork_cmas(std::int16_t group, std::size_t fetch_pos) {
   ++cmas_forks_;
 }
 
-void Machine::pump_cmp(std::uint64_t now) {
+bool Machine::pump_cmp(std::uint64_t now) {
   (void)now;
-  if (!cmp_) return;
+  bool progress = false;
+  if (!cmp_) return progress;
   for (auto& ctx : contexts_) {
     if (!ctx.active) continue;
     std::size_t scanned = 0;
@@ -276,6 +295,7 @@ void Machine::pump_cmp(std::uint64_t now) {
       if (ctx.scan_pos >= trace_.size()) {
         ctx.active = false;
         group_next_scan_[ctx.group] = ctx.scan_pos;
+        progress = true;
         break;
       }
       // Slip control: the CMP may not run further ahead of the front end
@@ -287,6 +307,7 @@ void Machine::pump_cmp(std::uint64_t now) {
       const isa::Instruction& inst = prog_.code[e.static_idx];
       ++ctx.scan_pos;
       ++scanned;
+      progress = true;  // the scan cursor moved: front-end state changed
       if (!inst.ann.in_cmas || inst.ann.cmas_group != ctx.group) continue;
 
       DynOp op;
@@ -306,48 +327,184 @@ void Machine::pump_cmp(std::uint64_t now) {
       }
     }
   }
+  return progress;
 }
 
 Result Machine::run() {
+  if (cfg_.scheduler == SchedulerKind::EventSkip &&
+      lockstep_verify_requested()) {
+    MachineConfig ref_cfg = cfg_;
+    ref_cfg.scheduler = SchedulerKind::Lockstep;
+    Machine ref(prog_, trace_, preset_, ref_cfg);
+    const Result want = ref.run_scheduler();
+    const Result got = run_scheduler();
+    if (!(want == got))
+      throw std::logic_error(
+          std::string("HIDISC_LOCKSTEP: scheduler divergence on preset ") +
+          preset_name(preset_) + ": lockstep {cycles " +
+          std::to_string(want.cycles) + ", instructions " +
+          std::to_string(want.instructions) + "} vs event-skip {cycles " +
+          std::to_string(got.cycles) + ", instructions " +
+          std::to_string(got.instructions) + "}" +
+          (want.cycles == got.cycles && want.instructions == got.instructions
+               ? " (headline numbers match; a stall/cache counter differs)"
+               : ""));
+    return got;
+  }
+  return run_scheduler();
+}
+
+// Branch resolution unblocks the front end.
+bool Machine::resolve_branches() {
+  bool progress = false;
+  for (auto* core : {main_.get(), cp_.get(), ap_.get()}) {
+    if (core == nullptr) continue;
+    for (const auto& rb : core->take_resolved_branches()) {
+      if (rb.trace_pos == pending_branch_pos_) {
+        pending_branch_pos_ = -1;
+        fetch_resume_cycle_ =
+            rb.resolve_cycle +
+            static_cast<std::uint64_t>(cfg_.redirect_penalty);
+        progress = true;
+      }
+    }
+  }
+  return progress;
+}
+
+// Runs fetch() and reports whether it changed any front-end state.  Pure
+// stall-counter increments do not count: those are exactly what the
+// event-skip scheduler replays in bulk when it fast-forwards.
+bool Machine::fetch_step(std::uint64_t now) {
+  const auto pos = fetch_pos_;
+  const bool blocked = fetch_blocked_;
+  const auto pending = pending_branch_pos_;
+  const auto resume = fetch_resume_cycle_;
+  const auto block = last_fetch_block_;
+  fetch(now);
+  return fetch_pos_ != pos || fetch_blocked_ != blocked ||
+         pending_branch_pos_ != pending || fetch_resume_cycle_ != resume ||
+         last_fetch_block_ != block;
+}
+
+// One simulated cycle, identical in ordering to the seed scheduler's loop
+// body: cores tick (commit -> pushes -> issue -> dispatch), resolved
+// branches unblock fetch, the front end fetches and routes, the CMP fork
+// engine scans, the dynamic fork distance adapts.  Returns true when any
+// machine state changed; a false return means this exact cycle would
+// repeat forever absent a timed event.
+bool Machine::step(std::uint64_t now) {
+  bool progress = false;
+  for (auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()}) {
+    if (core == nullptr) continue;
+    if (core->drained()) {
+      // Quiescent core: empty window, empty input queue.  A tick would be
+      // a guaranteed no-op, so don't pay for it.
+      ++sched_.quiescent_core_ticks;
+      continue;
+    }
+    progress |= core->tick(now);
+  }
+  progress |= resolve_branches();
+  progress |= fetch_step(now);
+  progress |= pump_cmp(now);
+  adapt_distance(now);
+  return progress;
+}
+
+// Earliest cycle strictly after `now` at which anything in the machine
+// could change state: per-core completions, architectural-FIFO heads
+// becoming consumable, the front end's fetch-resume point, the CMP adapt
+// tick, and outstanding memory-system fills.  kNoEvent means the machine
+// is wedged for good.
+std::uint64_t Machine::next_event_after(std::uint64_t now) {
+  std::uint64_t ev = uarch::kNoEvent;
+  for (const auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()})
+    if (core != nullptr) ev = std::min(ev, core->next_event_cycle(now));
+  for (const auto* q : {&ldq_, &sdq_, &scq_})
+    ev = std::min(ev, q->next_ready_event(now));
+  if (fetch_blocked_ && pending_branch_pos_ < 0 && fetch_resume_cycle_ > now)
+    ev = std::min(ev, fetch_resume_cycle_);
+  if (cmp_ && cfg_.cmp_dynamic_distance && next_adapt_cycle_ > now)
+    ev = std::min(ev, next_adapt_cycle_);
+  ev = std::min(ev, memsys_.next_fill_complete(now));
+  return ev;
+}
+
+// Replays the per-cycle stall counters the skipped cycles would have
+// accrued under lockstep.  Only counters can accrue there — by
+// construction nothing else could change — and each one's gating
+// condition is frozen across the whole skipped stretch.
+void Machine::account_skip(std::uint64_t now, std::uint64_t delta) {
+  for (auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()})
+    if (core != nullptr) core->account_idle_cycles(now, delta);
+  if (fetch_blocked_) {
+    // Blocked on a pending branch or a timed resume point; the skip never
+    // crosses the resume cycle.
+    fetch_stall_branch_cycles_ += delta;
+  } else if (fetch_pos_ < trace_.size()) {
+    // Unblocked yet frozen: the next instruction's core must have a full
+    // input queue (an I-cache probe would have changed state).
+    const sim::TraceEntry& e = trace_[fetch_pos_];
+    if (route(prog_.code[e.static_idx]).input_full())
+      fetch_stall_queue_full_ += delta;
+  }
+}
+
+void Machine::throw_deadlock(std::uint64_t now,
+                             std::uint64_t last_progress_cycle) const {
+  (void)now;
+  throw std::runtime_error(
+      std::string("machine deadlock: no progress since cycle ") +
+      std::to_string(last_progress_cycle) + " (preset " +
+      preset_name(preset_) + ", fetched " + std::to_string(fetch_pos_) +
+      "/" + std::to_string(trace_.size()) + ")");
+}
+
+Result Machine::run_scheduler() {
+  const bool lockstep = cfg_.scheduler == SchedulerKind::Lockstep;
   std::uint64_t now = 0;
   std::uint64_t last_progress_cycle = 0;
-  std::uint64_t last_progress_mark = ~0ull;
+  std::uint64_t no_progress_steps = 0;
 
   while (!done()) {
-    for (auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()})
-      if (core != nullptr) core->tick(now);
+    const bool progress = step(now);
+    ++sched_.event_steps;
 
-    // Branch resolution unblocks the front end.
-    for (auto* core : {main_.get(), cp_.get(), ap_.get()}) {
-      if (core == nullptr) continue;
-      for (const auto& rb : core->take_resolved_branches()) {
-        if (rb.trace_pos == pending_branch_pos_) {
-          pending_branch_pos_ = -1;
-          fetch_resume_cycle_ =
-              rb.resolve_cycle + static_cast<std::uint64_t>(
-                                     cfg_.redirect_penalty);
-        }
+    if (progress) {
+      last_progress_cycle = now;
+      no_progress_steps = 0;
+      ++now;
+      continue;
+    }
+    ++no_progress_steps;
+    ++sched_.stall_steps;
+
+    std::uint64_t next = now + 1;
+    if (!lockstep) {
+      const std::uint64_t ev = next_event_after(now);
+      // No self-scheduled event anywhere and no progress: the state can
+      // never change again.  Lockstep would spin the watchdog out; report
+      // the same deadlock immediately.
+      if (ev == uarch::kNoEvent) throw_deadlock(now, last_progress_cycle);
+      if (ev > now + 1) {
+        const std::uint64_t delta = ev - now - 1;
+        account_skip(now, delta);
+        sched_.skipped_cycles += delta;
+        sched_.max_skip = std::max(sched_.max_skip, delta);
+        ++sched_.skips;
+        next = ev;
       }
     }
 
-    fetch(now);
-    pump_cmp(now);
-    adapt_distance(now);
+    // Watchdog over stalled *event steps*, not raw cycle deltas: a legal
+    // fast-forward of millions of cycles is a single step and must not
+    // trip it, while a genuine livelock accumulates stalled steps fast.
+    if (no_progress_steps > kWatchdogMinSteps &&
+        now - last_progress_cycle > cfg_.watchdog_cycles)
+      throw_deadlock(now, last_progress_cycle);
 
-    std::uint64_t mark = fetch_pos_ + cmas_uops_;
-    for (const auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()})
-      if (core != nullptr) mark += core->stats().committed_all;
-    if (mark != last_progress_mark) {
-      last_progress_mark = mark;
-      last_progress_cycle = now;
-    } else if (now - last_progress_cycle > cfg_.watchdog_cycles) {
-      throw std::runtime_error(
-          std::string("machine deadlock: no progress since cycle ") +
-          std::to_string(last_progress_cycle) + " (preset " +
-          preset_name(preset_) + ", fetched " + std::to_string(fetch_pos_) +
-          "/" + std::to_string(trace_.size()) + ")");
-    }
-    ++now;
+    now = next;
   }
   return collect(now);
 }

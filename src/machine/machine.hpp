@@ -7,10 +7,18 @@
 // architectural FIFOs; the shared L1D/L2/DRAM hierarchy; and the CMP fork
 // engine that launches CMAS slices when trigger instructions are fetched.
 //
-// Timing is cycle-by-cycle and lock-stepped across cores, so all cache
+// Timing is cycle-accurate and globally ordered across cores, so all cache
 // accesses — including CMP prefetches — interleave in true global time
 // order.  Functional behaviour is pre-resolved by the dynamic trace
 // (DESIGN.md §6), which the caller obtains from sim::Functional.
+//
+// Time advances through an event-skip scheduler by default: on any cycle
+// where no core, FIFO or front-end state changed, the machine jumps `now`
+// to the earliest pending event (FU/memory completion, FIFO head becoming
+// ready, fetch resume, CMP adapt tick, outstanding cache fill) instead of
+// ticking through the idle gap — see docs/MACHINE.md.  The seed
+// cycle-by-cycle scheduler survives as SchedulerKind::Lockstep, and
+// HIDISC_LOCKSTEP=1 runs both and asserts bit-identical Results.
 #pragma once
 
 #include <memory>
@@ -28,6 +36,19 @@
 
 namespace hidisc::machine {
 
+// Telemetry of the event-skip scheduler for one run.  Deliberately *not*
+// part of machine::Result: Results are bit-identical across schedulers,
+// while these numbers describe how a particular scheduler got there.
+struct SchedulerStats {
+  std::uint64_t event_steps = 0;     // cycles actually simulated
+  std::uint64_t stall_steps = 0;     // steps where nothing progressed
+  std::uint64_t skips = 0;           // fast-forward jumps taken
+  std::uint64_t skipped_cycles = 0;  // idle cycles never ticked
+  std::uint64_t max_skip = 0;        // longest single jump, in cycles
+  std::uint64_t quiescent_core_ticks = 0;  // per-core ticks skipped while
+                                           // a core was fully drained
+};
+
 class Machine {
  public:
   // `prog` must outlive the machine and must be the binary matching the
@@ -42,7 +63,15 @@ class Machine {
 
   // Runs to completion and returns the collected statistics.
   // Throws std::runtime_error if the machine stops making progress.
+  // With HIDISC_LOCKSTEP=1 in the environment, an event-skip run is
+  // shadowed by a fresh lock-stepped run of the same inputs and a
+  // divergence in any Result field throws std::logic_error.
   [[nodiscard]] Result run();
+
+  // Valid after run(): how the scheduler advanced time.
+  [[nodiscard]] const SchedulerStats& sched_stats() const noexcept {
+    return sched_;
+  }
 
  private:
   struct CmpContext {
@@ -53,11 +82,21 @@ class Machine {
   };
 
   void fetch(std::uint64_t now);
-  void pump_cmp(std::uint64_t now);
+  bool fetch_step(std::uint64_t now);
+  bool pump_cmp(std::uint64_t now);
+  bool resolve_branches();
   void fork_cmas(std::int16_t group, std::size_t fetch_pos);
   [[nodiscard]] uarch::OoOCore& route(const isa::Instruction& inst);
   [[nodiscard]] bool done() const;
   [[nodiscard]] Result collect(std::uint64_t cycles) const;
+
+  // Event-skip scheduler internals (see docs/MACHINE.md).
+  [[nodiscard]] Result run_scheduler();
+  bool step(std::uint64_t now);
+  [[nodiscard]] std::uint64_t next_event_after(std::uint64_t now);
+  void account_skip(std::uint64_t now, std::uint64_t delta);
+  [[noreturn]] void throw_deadlock(std::uint64_t now,
+                                   std::uint64_t last_progress_cycle) const;
 
   const isa::Program& prog_;
   const sim::Trace& trace_;
@@ -101,6 +140,7 @@ class Machine {
   std::uint64_t adapt_last_issued_ = 0;
 
   // Stats.
+  SchedulerStats sched_;
   std::uint64_t fetch_stall_branch_cycles_ = 0;
   std::uint64_t fetch_stall_queue_full_ = 0;
   std::uint64_t cmas_forks_ = 0;

@@ -40,6 +40,10 @@ struct Result {
   [[nodiscard]] double l1_demand_miss_rate() const noexcept {
     return l1.demand_miss_rate();
   }
+
+  // Bitwise equality across every counter; the event-skip and lockstep
+  // schedulers must agree on all of it (see SchedulerKind).
+  friend bool operator==(const Result&, const Result&) = default;
 };
 
 }  // namespace hidisc::machine

@@ -48,6 +48,8 @@ struct CacheStats {
     return a == 0 ? 0.0 : static_cast<double>(demand_misses()) /
                               static_cast<double>(a);
   }
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
 };
 
 // Result of a lookup at one level.

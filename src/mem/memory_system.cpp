@@ -14,6 +14,12 @@ void MemorySystem::reset() {
   bus_free_ = 0;
   bus_busy_cycles_ = 0;
   profile_.clear();
+  fills_ = {};
+}
+
+std::uint64_t MemorySystem::next_fill_complete(std::uint64_t now) {
+  while (!fills_.empty() && fills_.top() <= now) fills_.pop();
+  return fills_.empty() ? kNoFill : fills_.top();
 }
 
 std::uint64_t MemorySystem::claim_bus(std::uint64_t now) {
@@ -47,6 +53,7 @@ AccessResult MemorySystem::fetch_access(std::uint64_t addr,
     l2_.access(addr, AccessType::Read, now, data_ready);
   }
   l1i_.access(addr, AccessType::Read, now, data_ready);
+  note_fill(data_ready, now);
   const auto wait = data_ready > now ? static_cast<int>(data_ready - now) : 0;
   out.latency = std::max(cfg_.l1i.hit_latency, wait);
   return out;
@@ -105,6 +112,7 @@ AccessResult MemorySystem::access(std::uint64_t addr, AccessType type,
     // counted by the L1 writeback stat.
   }
 
+  note_fill(data_ready, now);
   const auto wait = data_ready > now ? static_cast<int>(data_ready - now) : 0;
   out.latency = std::max(cfg_.l1.hit_latency, wait);
   return out;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -78,6 +79,21 @@ class MemorySystem {
     return bus_busy_cycles_;
   }
 
+  // Event-skip scheduler interface --------------------------------------
+  //
+  // Sentinel for "no outstanding fill".
+  static constexpr std::uint64_t kNoFill = ~std::uint64_t{0};
+
+  // When enabled, every miss records its fill-completion cycle so the
+  // scheduler can query the earliest outstanding one.  Off by default:
+  // lock-stepped machines never ask, and tracking would only grow the
+  // heap.  Toggling does not affect timing — only event visibility.
+  void set_event_tracking(bool on) noexcept { track_fills_ = on; }
+
+  // Earliest outstanding fill completing strictly after `now` (kNoFill
+  // when none).  Prunes fills that have already landed.
+  [[nodiscard]] std::uint64_t next_fill_complete(std::uint64_t now);
+
  private:
   // Claims the L1<->L2 bus at `now`; returns the transaction start cycle
   // (== now when contention modelling is off).
@@ -87,9 +103,17 @@ class MemorySystem {
   Cache l1_;
   Cache l1i_;
   Cache l2_;
+  void note_fill(std::uint64_t ready, std::uint64_t now) {
+    if (track_fills_ && ready > now) fills_.push(ready);
+  }
+
   std::uint64_t bus_free_ = 0;
   std::uint64_t bus_busy_cycles_ = 0;
   std::unordered_map<std::int32_t, ProfileEntry> profile_;
+  bool track_fills_ = false;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      fills_;  // completion cycles of in-flight fills (min-heap)
 };
 
 }  // namespace hidisc::mem

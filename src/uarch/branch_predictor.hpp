@@ -22,6 +22,8 @@ struct BranchStats {
                : static_cast<double>(mispredicts) /
                      static_cast<double>(lookups);
   }
+
+  friend bool operator==(const BranchStats&, const BranchStats&) = default;
 };
 
 enum class PredictorKind : std::uint8_t { Bimodal, GShare };

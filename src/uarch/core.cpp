@@ -94,12 +94,81 @@ FuPool* OoOCore::pool_for(OpClass cls) {
   return nullptr;
 }
 
-void OoOCore::tick(std::uint64_t now) {
+bool OoOCore::tick(std::uint64_t now) {
   if (!window_.empty() || !input_.empty()) ++stats_.busy_cycles;
+  progress_ = false;
   do_commit(now);
   do_pushes(now);
   do_issue(now);
   do_dispatch(now);
+  return progress_;
+}
+
+std::uint64_t OoOCore::next_event_cycle(std::uint64_t now) const {
+  std::uint64_t ev = kNoEvent;
+  // Issued-but-incomplete entries cover every time-threshold their
+  // completion gates: commit of the head, queue writes draining, consumers'
+  // sources_ready, and load/store disambiguation waits.
+  for (const auto& e : window_)
+    if (e.issued && e.complete_cycle > now && e.complete_cycle < ev)
+      ev = e.complete_cycle;
+  for (const FuPool* pool :
+       {&int_alu_, &int_muldiv_, &fp_alu_, &fp_muldiv_, &mem_ports_})
+    ev = std::min(ev, pool->next_release(now));
+  // A full prefetch buffer frees a slot when its earliest fill lands.
+  for (const auto t : prefetch_fills_)
+    if (t > now && t < ev) ev = t;
+  return ev;
+}
+
+// Mirrors exactly the per-cycle stall counters tick() accrues in a cycle
+// where nothing can change: busy time, dispatch blocked on a full window,
+// commit blocked on an undrained queue write, the per-queue full-stall
+// note of do_pushes, and the oldest-op empty-queue stalls of do_issue.
+// Any drift here is caught by the HIDISC_LOCKSTEP verification path.
+void OoOCore::account_idle_cycles(std::uint64_t now, std::uint64_t delta) {
+  if (delta == 0) return;
+  if (window_.empty() && input_.empty()) return;  // quiescent: nothing accrues
+  stats_.busy_cycles += delta;
+
+  if (!input_.empty() &&
+      window_.size() >= static_cast<std::size_t>(cfg_.window))
+    stats_.window_full_stalls += delta;
+
+  if (!window_.empty()) {
+    const Entry& head = window_.front();
+    if (completed(head, now) && head.push_queue != nullptr && !head.pushed)
+      stats_.queue_full_commit_stalls += delta;
+  }
+
+  // do_pushes: one full-stall note per queue per cycle, charged when the
+  // oldest un-pushed write for that queue is completed but the queue is
+  // full.  (An older incomplete write blocks younger ones silently.)
+  bool ldq_blocked = false, sdq_blocked = false, scq_blocked = false;
+  for (const auto& e : window_) {
+    if (e.push_queue == nullptr) continue;
+    bool* blocked = e.push_queue == queues_.ldq   ? &ldq_blocked
+                    : e.push_queue == queues_.sdq ? &sdq_blocked
+                                                  : &scq_blocked;
+    if (*blocked) continue;
+    if (e.pushed) continue;
+    if (completed(e, now) && e.push_queue->full())
+      e.push_queue->note_full_stalls(delta);
+    *blocked = true;
+  }
+
+  // do_issue: the oldest un-issued op, when ready but waiting on an empty
+  // (or not-yet-ready) architectural queue, counts a head stall per cycle.
+  for (const auto& e : window_) {
+    if (e.issued) continue;
+    if (sources_ready(e, now) && e.needs_pop &&
+        e.pop_queue->front_ready(now) == nullptr) {
+      stats_.head_pop_empty_stalls += delta;
+      e.pop_queue->note_empty_stalls(delta);
+      if (e.pop_queue == queues_.sdq) stats_.lod_stalls += delta;
+    }
+    break;
+  }
 }
 
 // Queue writes drain at completion (writeback), in program order per queue
@@ -130,6 +199,7 @@ void OoOCore::do_pushes(std::uint64_t now) {
       continue;
     }
     e.pushed = true;
+    progress_ = true;
   }
 }
 
@@ -148,6 +218,7 @@ void OoOCore::do_commit(std::uint64_t now) {
     window_.pop_front();
     ++base_seq_;
     ++committed;
+    progress_ = true;
   }
 }
 
@@ -292,6 +363,7 @@ void OoOCore::issue_one(Entry& e, std::uint64_t now) {
   }
 
   e.issued = true;
+  progress_ = true;
 
   if (e.op.mispredicted)
     resolved_.push_back({e.op.trace_pos, e.complete_cycle});
@@ -349,6 +421,7 @@ void OoOCore::do_dispatch(std::uint64_t now) {
     window_.push_back(e);
     input_.pop_front();
     ++dispatched;
+    progress_ = true;
   }
 }
 

@@ -62,6 +62,8 @@ struct CoreStats {
   std::uint64_t head_pop_empty_stalls = 0;  // oldest op waiting on empty FIFO
   std::uint64_t lod_stalls = 0;  // oldest op waiting on SDQ: loss of decoupling
   std::uint64_t busy_cycles = 0; // cycles with at least one op in flight
+
+  friend bool operator==(const CoreStats&, const CoreStats&) = default;
 };
 
 // A branch whose redirect the front end is waiting on.
@@ -87,13 +89,35 @@ class OoOCore {
   // False (and no effect) when the input queue is full.
   bool enqueue(const DynOp& op);
 
-  // Advances one cycle: commit, then issue, then dispatch.
-  void tick(std::uint64_t now);
+  // Advances one cycle: commit, then issue, then dispatch.  Returns true
+  // when the core changed state (committed, pushed, issued or dispatched
+  // anything) — the event-skip scheduler's "this core is active" signal.
+  bool tick(std::uint64_t now);
 
   // True when no work remains anywhere in the core.
   [[nodiscard]] bool drained() const noexcept {
     return input_.empty() && window_.empty();
   }
+
+  // Event-skip scheduler interface --------------------------------------
+  //
+  // Earliest cycle strictly after `now` at which this core's own state
+  // could change without external input: a functional-unit result or an
+  // unpipelined unit freeing (both bounded by issued entries'
+  // complete_cycle / pool release times), or a fire-and-forget prefetch
+  // fill vacating a prefetch-buffer slot.  Cross-core wake-ups (queue
+  // pushes/pops, new front-end input) are events of the *other* party and
+  // are folded in by the machine.  kNoEvent when nothing self-scheduled
+  // remains.
+  [[nodiscard]] std::uint64_t next_event_cycle(std::uint64_t now) const;
+
+  // Accounts `delta` cycles during which the machine fast-forwarded time
+  // past this core while it was provably unable to change state ("frozen"
+  // at the state observed at cycle `now`).  Replays exactly the per-cycle
+  // stall counters a lock-stepped tick would have accrued at each skipped
+  // cycle, so results stay bit-identical with the cycle-by-cycle
+  // scheduler.
+  void account_idle_cycles(std::uint64_t now, std::uint64_t delta);
 
   // Mispredicted branches that reached resolution since the last call.
   std::vector<ResolvedBranch> take_resolved_branches();
@@ -157,6 +181,7 @@ class OoOCore {
   std::vector<std::uint64_t> prefetch_fills_;
   CoreStats stats_;
   std::vector<ResolvedBranch> resolved_;
+  bool progress_ = false;  // state changed during the current tick
 };
 
 }  // namespace hidisc::uarch

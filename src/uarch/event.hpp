@@ -1,0 +1,16 @@
+// Shared sentinel for the event-skip scheduler (machine/machine.cpp).
+//
+// Components that can schedule future work — cores, FU pools, the timed
+// FIFOs, the memory system — answer "when could your state next change on
+// its own?" with a cycle number, or kNoEvent when nothing they own will
+// ever fire without external input.  The machine advances time to the
+// minimum across all components when no one made progress this cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace hidisc::uarch {
+
+inline constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+
+}  // namespace hidisc::uarch

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "uarch/event.hpp"
+
 namespace hidisc::uarch {
 
 class FuPool {
@@ -36,6 +38,15 @@ class FuPool {
       }
     }
     return false;
+  }
+
+  // Earliest cycle strictly after `now` at which a busy unit frees up;
+  // kNoEvent when every unit is already free (or the pool is empty).
+  [[nodiscard]] std::uint64_t next_release(std::uint64_t now) const noexcept {
+    std::uint64_t ev = kNoEvent;
+    for (const auto t : next_free_)
+      if (t > now && t < ev) ev = t;
+    return ev;
   }
 
   void reset() noexcept {

@@ -13,6 +13,8 @@
 #include <deque>
 #include <string>
 
+#include "uarch/event.hpp"
+
 namespace hidisc::uarch {
 
 struct FifoStats {
@@ -21,6 +23,8 @@ struct FifoStats {
   std::uint64_t full_stall_cycles = 0;   // producer wanted to push, was full
   std::uint64_t empty_stall_cycles = 0;  // consumer wanted to pop, was empty
   std::size_t max_occupancy = 0;
+
+  friend bool operator==(const FifoStats&, const FifoStats&) = default;
 };
 
 class TimedFifo {
@@ -63,6 +67,24 @@ class TimedFifo {
 
   void note_full_stall() noexcept { ++stats_.full_stall_cycles; }
   void note_empty_stall() noexcept { ++stats_.empty_stall_cycles; }
+  // Bulk variants used by the event-skip scheduler to account stall cycles
+  // it fast-forwarded over (machine/machine.cpp account_skip).
+  void note_full_stalls(std::uint64_t n) noexcept {
+    stats_.full_stall_cycles += n;
+  }
+  void note_empty_stalls(std::uint64_t n) noexcept {
+    stats_.empty_stall_cycles += n;
+  }
+
+  // Earliest cycle strictly after `now` at which the head entry's data
+  // becomes consumable; kNoEvent when the queue is empty or the head is
+  // already ready (then only a consumer's pop — an event of the consuming
+  // core — can change this queue's observable state).
+  [[nodiscard]] std::uint64_t next_ready_event(std::uint64_t now) const
+      noexcept {
+    if (q_.empty() || q_.front().ready <= now) return kNoEvent;
+    return q_.front().ready;
+  }
 
   [[nodiscard]] const FifoStats& stats() const noexcept { return stats_; }
 

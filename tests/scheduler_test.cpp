@@ -1,0 +1,243 @@
+// Event-skip scheduler correctness (see docs/MACHINE.md).
+//
+// The contract under test: SchedulerKind::EventSkip produces a
+// machine::Result bit-identical to SchedulerKind::Lockstep (the seed
+// cycle-by-cycle scheduler) on every workload/preset/latency combination,
+// while actually skipping idle cycles; and OoOCore::next_event_cycle is a
+// sound, stable promise — no state change ever happens before the cycle it
+// reports.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "machine/machine.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/functional.hpp"
+#include "uarch/core.hpp"
+#include "uarch/event.hpp"
+#include "workloads/common.hpp"
+
+namespace hidisc {
+namespace {
+
+using machine::Machine;
+using machine::MachineConfig;
+using machine::Preset;
+using machine::SchedulerKind;
+
+struct Prepared {
+  compiler::Compilation comp;
+  sim::Trace orig_trace;
+  sim::Trace sep_trace;
+};
+
+Prepared prepare(const workloads::BuiltWorkload& w) {
+  Prepared p{compiler::compile(w.program), {}, {}};
+  p.orig_trace = sim::Functional(p.comp.original).run_trace();
+  p.sep_trace = sim::Functional(p.comp.separated).run_trace();
+  return p;
+}
+
+// Runs one preset under the given scheduler and returns the Result plus
+// the scheduler's telemetry.
+machine::Result run_with(const Prepared& p, Preset preset, SchedulerKind k,
+                         MachineConfig cfg,
+                         machine::SchedulerStats* stats = nullptr) {
+  cfg.scheduler = k;
+  const bool sep = machine::uses_separated_binary(preset);
+  Machine m(sep ? p.comp.separated : p.comp.original,
+            sep ? p.sep_trace : p.orig_trace, preset, cfg);
+  const auto r = m.run();
+  if (stats != nullptr) *stats = m.sched_stats();
+  return r;
+}
+
+constexpr Preset kAllPresets[] = {Preset::Superscalar, Preset::CPAP,
+                                  Preset::CPCMP, Preset::HiDISC};
+
+// The three DIS stressmarks the paper's Figures 8-10 lean on hardest.
+std::vector<workloads::BuiltWorkload> paper_workloads() {
+  std::vector<workloads::BuiltWorkload> ws;
+  ws.push_back(workloads::make_pointer(workloads::Scale::Test));
+  ws.push_back(workloads::make_update(workloads::Scale::Test));
+  ws.push_back(workloads::make_field(workloads::Scale::Test));
+  return ws;
+}
+
+TEST(SchedulerEquivalence, PaperWorkloadsAllPresetsTable1Latencies) {
+  for (const auto& w : paper_workloads()) {
+    const Prepared p = prepare(w);
+    for (const Preset preset : kAllPresets) {
+      const auto skip = run_with(p, preset, SchedulerKind::EventSkip, {});
+      const auto lock = run_with(p, preset, SchedulerKind::Lockstep, {});
+      EXPECT_TRUE(skip == lock)
+          << w.name << "/" << machine::preset_name(preset)
+          << ": event-skip {" << skip.cycles << " cycles, "
+          << skip.instructions << " insts} vs lockstep {" << lock.cycles
+          << " cycles, " << lock.instructions << " insts}";
+    }
+  }
+}
+
+TEST(SchedulerEquivalence, HighLatencySweepPointActuallySkips) {
+  MachineConfig cfg;
+  cfg.mem = mem::MemConfig::with_latencies(16, 160);  // Fig. 10 far point
+  const Prepared p = prepare(workloads::make_update(workloads::Scale::Test));
+  for (const Preset preset : kAllPresets) {
+    machine::SchedulerStats stats;
+    const auto skip =
+        run_with(p, preset, SchedulerKind::EventSkip, cfg, &stats);
+    const auto lock = run_with(p, preset, SchedulerKind::Lockstep, cfg);
+    EXPECT_TRUE(skip == lock) << machine::preset_name(preset);
+    // Memory-bound at DRAM 160: a real fraction of cycles must be skipped,
+    // or the scheduler is silently degenerating to lockstep.
+    EXPECT_GT(stats.skips, 0u) << machine::preset_name(preset);
+    EXPECT_GT(stats.skipped_cycles, 0u) << machine::preset_name(preset);
+    EXPECT_GT(stats.max_skip, 1u) << machine::preset_name(preset);
+    EXPECT_LT(stats.event_steps, skip.cycles)
+        << machine::preset_name(preset);
+  }
+}
+
+TEST(Scheduler, QuiescentCoresAreNotTickedOnMemoryBoundStressmark) {
+  MachineConfig cfg;
+  cfg.mem = mem::MemConfig::with_latencies(16, 160);
+  const Prepared p = prepare(workloads::make_matrix(workloads::Scale::Test));
+  machine::SchedulerStats stats;
+  const auto r =
+      run_with(p, Preset::HiDISC, SchedulerKind::EventSkip, cfg, &stats);
+  EXPECT_GT(r.cycles, 0u);
+  // With CP, AP and CMP all present, some core must drain before the run
+  // ends (the CP finishes its compute stream while the AP still waits on
+  // DRAM) — those cores are skipped, not ticked.
+  EXPECT_GT(stats.quiescent_core_ticks, 0u);
+}
+
+TEST(Scheduler, WatchdogCountsEventStepsNotSkippedCycles) {
+  // DRAM far above the watchdog threshold: every miss is a legal stall
+  // longer than watchdog_cycles.  The seed watchdog (raw cycle deltas)
+  // would abort here; the event-step watchdog must ride through, because
+  // each multi-thousand-cycle skip is a single stalled step.
+  MachineConfig cfg;
+  cfg.mem = mem::MemConfig::with_latencies(16, 5000);
+  cfg.watchdog_cycles = 2000;
+  const Prepared p = prepare(workloads::make_update(workloads::Scale::Test));
+  const auto skip = run_with(p, Preset::Superscalar, SchedulerKind::EventSkip,
+                             cfg);
+  EXPECT_GT(skip.cycles, 5000u);
+  // The same run with an ample watchdog agrees bit-for-bit, so the tight
+  // watchdog changed nothing but the abort policy.
+  cfg.watchdog_cycles = 100'000'000;
+  const auto lock =
+      run_with(p, Preset::Superscalar, SchedulerKind::Lockstep, cfg);
+  EXPECT_TRUE(skip == lock);
+}
+
+TEST(Scheduler, LockstepVerifyEnvRunsBothAndAgrees) {
+  ::setenv("HIDISC_LOCKSTEP", "1", 1);
+  const Prepared p = prepare(workloads::make_field(workloads::Scale::Test));
+  machine::Result r;
+  EXPECT_NO_THROW({
+    r = run_with(p, Preset::HiDISC, SchedulerKind::EventSkip, {});
+  });
+  ::unsetenv("HIDISC_LOCKSTEP");
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.instructions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// next_event_cycle soundness under random stimulus, against a raw OoOCore.
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::ir;
+
+class NextEventTest : public ::testing::Test {
+ protected:
+  // Fixture owns instructions: DynOp keeps pointers into this storage.
+  uarch::DynOp op_for(const Instruction& inst, std::uint64_t addr = 0) {
+    held_.push_back(std::make_unique<Instruction>(inst));
+    uarch::DynOp op;
+    op.trace_pos = static_cast<std::int64_t>(held_.size()) - 1;
+    op.static_idx = static_cast<std::int32_t>(held_.size()) - 1;
+    op.inst = held_.back().get();
+    op.addr = addr;
+    return op;
+  }
+
+  std::vector<std::unique_ptr<Instruction>> held_;
+  mem::MemorySystem memsys_;
+};
+
+TEST_F(NextEventTest, PromiseIsSoundAndStableUnderRandomStimulus) {
+  uarch::CoreConfig cfg;
+  cfg.name = "rand";
+  cfg.window = 16;
+  cfg.issue_width = 2;
+  cfg.commit_width = 2;
+  cfg.dispatch_width = 2;
+  cfg.input_queue = 256;
+  cfg.int_alu = 2;
+  cfg.int_muldiv = 1;
+  cfg.mem_ports = 1;
+  cfg.has_lsu = true;
+  uarch::OoOCore core(cfg, &memsys_, {});
+
+  std::mt19937_64 rng(0xD15Cu);
+  for (int i = 0; i < 200; ++i) {
+    const int kind = static_cast<int>(rng() % 3);
+    const int dst = 1 + static_cast<int>(rng() % 8);
+    const int src = 1 + static_cast<int>(rng() % 8);
+    Instruction inst;
+    if (kind == 0) {  // dependent ALU op
+      inst.op = Opcode::ADD;
+      inst.dst = ir(static_cast<std::uint8_t>(dst));
+      inst.src1 = ir(static_cast<std::uint8_t>(src));
+      inst.src2 = ir(static_cast<std::uint8_t>(dst));
+      ASSERT_TRUE(core.enqueue(op_for(inst)));
+    } else if (kind == 1) {  // load with a scattered address (misses mix in)
+      inst.op = Opcode::LD;
+      inst.dst = ir(static_cast<std::uint8_t>(dst));
+      inst.src1 = ir(static_cast<std::uint8_t>(src));
+      ASSERT_TRUE(core.enqueue(op_for(inst, (rng() % 512) * 8192)));
+    } else {  // long-latency integer multiply
+      inst.op = Opcode::MUL;
+      inst.dst = ir(static_cast<std::uint8_t>(dst));
+      inst.src1 = ir(static_cast<std::uint8_t>(src));
+      inst.src2 = ir(static_cast<std::uint8_t>(dst));
+      ASSERT_TRUE(core.enqueue(op_for(inst)));
+    }
+  }
+
+  std::uint64_t now = 0;
+  std::uint64_t promise = 0;      // earliest promised event, 0 = none
+  const std::uint64_t limit = 2'000'000;
+  while (!core.drained()) {
+    const bool progress = core.tick(now);
+    if (progress) {
+      // Soundness: a promise says nothing can change before that cycle.
+      // Progress strictly before it means next_event_cycle missed an
+      // event — the fatal direction for the event-skip scheduler.
+      if (promise != 0) EXPECT_GE(now, promise) << "missed event at " << now;
+      promise = 0;
+    } else {
+      const std::uint64_t ev = core.next_event_cycle(now);
+      // A stalled-but-not-drained core must always have a wake-up point.
+      ASSERT_NE(ev, uarch::kNoEvent) << "wedged at cycle " << now;
+      ASSERT_GT(ev, now);
+      // Stability: with no state change, the promise may not move earlier
+      // across consecutive stalled cycles (monotonicity of the frozen
+      // state's thresholds).
+      if (promise != 0) EXPECT_GE(ev, promise) << "promise moved at " << now;
+      promise = ev;
+    }
+    ASSERT_LT(++now, limit) << "core did not drain";
+  }
+}
+
+}  // namespace
+}  // namespace hidisc

@@ -145,9 +145,12 @@ int main(int argc, char** argv) {
                   plan.description.c_str(), table.to_string().c_str());
       std::printf(
           "%zu cells: %zu simulated, %zu cache hits; %zu compilations, "
-          "%zu traces; %d threads; %.0f ms\n",
+          "%zu traces; %d threads; %.0f ms",
           plan.cells.size(), run.simulated, run.cache_hits, run.preps,
           run.traces, threads, run.wall_ms);
+      if (run.sim_cycles_per_sec > 0.0)
+        std::printf("; %.2f Mcycles/s", run.sim_cycles_per_sec / 1e6);
+      std::printf("\n");
     }
 
     const lab::ExportMeta meta{threads};

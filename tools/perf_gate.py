@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput against a checked-in baseline.
+
+Compares items_per_second of matching benchmarks between a baseline JSON
+(bench/baseline.json, committed) and a fresh google-benchmark JSON run:
+
+    bench_sim_throughput --benchmark_filter='^BM_FullMachine' \
+        --benchmark_format=json > perf.json
+    python3 tools/perf_gate.py bench/baseline.json perf.json \
+        --max-regression 0.25
+
+Exits non-zero when any benchmark present in both files regresses by more
+than --max-regression (fraction of baseline items/sec).  Benchmarks only in
+one file are reported but never fail the gate, so adding or renaming a
+benchmark does not break CI before the baseline is refreshed.  A missing
+baseline file warns and passes for the same reason.
+
+Refresh the baseline with --update after an intentional perf change:
+
+    python3 tools/perf_gate.py bench/baseline.json perf.json --update
+
+When the run used --benchmark_repetitions, aggregate entries are preferred
+and the median is used (more robust than the mean on noisy CI runners).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    """Map benchmark name -> items_per_second from google-benchmark JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    plain = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b.get("run_name", name)] = ips
+        else:
+            plain[name] = ips
+    # Aggregates win: their run_name is the plain benchmark name.
+    return {**plain, **medians}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("current", help="fresh --benchmark_format=json output")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="allowed fractional items/sec drop (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current run and exit")
+    args = ap.parse_args()
+
+    current = load_items_per_second(args.current)
+    if not current:
+        print(f"perf_gate: no items_per_second entries in {args.current}",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        with open(args.current) as f:
+            data = json.load(f)
+        # Strip the run context: host-specific fields (date, load, CPU
+        # clock) would churn on every refresh without informing the gate.
+        data.pop("context", None)
+        with open(args.baseline, "w") as f:
+            json.dump(data, f, indent=2)
+            f.write("\n")
+        print(f"perf_gate: baseline {args.baseline} updated "
+              f"({len(current)} benchmarks)")
+        return 0
+
+    try:
+        baseline = load_items_per_second(args.baseline)
+    except FileNotFoundError:
+        print(f"perf_gate: baseline {args.baseline} missing; passing "
+              "(check one in via --update)", file=sys.stderr)
+        return 0
+
+    failed = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            where = "current run" if base is None else "baseline"
+            print(f"  {name}: only in {where}, skipped")
+            continue
+        change = (cur - base) / base
+        status = "ok"
+        if change < -args.max_regression:
+            status = "FAIL"
+            failed.append(name)
+        print(f"  {name}: {base:.3e} -> {cur:.3e} items/s "
+              f"({change:+.1%}) {status}")
+
+    if failed:
+        print(f"perf_gate: {len(failed)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%}: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("perf_gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
