@@ -71,6 +71,132 @@ struct Interval {
   }
 };
 
+// CFG successors under the same approximations the balance walk uses:
+// direct jumps follow their target, indirect jumps (JR/JALR) end tracking,
+// branches and BEOD fork, HALT stops.
+std::vector<std::int32_t> successors(const isa::Program& prog,
+                                     std::int32_t i) {
+  const auto n = static_cast<std::int32_t>(prog.code.size());
+  const auto& inst = prog.code[i];
+  std::vector<std::int32_t> out;
+  if (isa::is_jump(inst.op)) {
+    if ((inst.op == Opcode::J || inst.op == Opcode::JAL) &&
+        inst.target >= 0 && inst.target < n)
+      out.push_back(inst.target);
+    return out;
+  }
+  if (inst.op == Opcode::HALT) return out;
+  if ((isa::is_branch(inst.op) || inst.op == Opcode::BEOD) &&
+      inst.target >= 0 && inst.target < n)
+    out.push_back(inst.target);
+  if (i + 1 < n) out.push_back(i + 1);
+  return out;
+}
+
+// Instructions on a cycle through a BEOD.  Inside such a cycle the LDQ
+// pops are bounded by queue content, not by static path counting: the
+// paper's Figure-3 consumer loop pops until BEOD sees the EOD token, so
+// any "pops exceed pushes" path the interval analysis finds there is
+// dynamically infeasible.  The LDQ lower bound is clamped at zero on
+// these instructions instead of being flagged.
+std::vector<char> eod_guarded_set(const isa::Program& prog) {
+  const auto n = static_cast<std::int32_t>(prog.code.size());
+  std::vector<char> guarded(n, 0);
+  std::vector<std::vector<std::int32_t>> preds(n);
+  for (std::int32_t i = 0; i < n; ++i)
+    for (const auto s : successors(prog, i)) preds[s].push_back(i);
+  const auto bfs = [&](std::int32_t from, bool forward) {
+    std::vector<char> seen(n, 0);
+    std::vector<std::int32_t> work =
+        forward ? successors(prog, from) : preds[from];
+    while (!work.empty()) {
+      const auto i = work.back();
+      work.pop_back();
+      if (seen[i]) continue;
+      seen[i] = 1;
+      for (const auto s : forward ? successors(prog, i) : preds[i])
+        if (!seen[s]) work.push_back(s);
+    }
+    return seen;
+  };
+  for (std::int32_t b = 0; b < n; ++b) {
+    if (prog.code[b].op != Opcode::BEOD) continue;
+    const auto fwd = bfs(b, /*forward=*/true);
+    const auto bwd = bfs(b, /*forward=*/false);
+    for (std::int32_t i = 0; i < n; ++i)
+      if (fwd[i] && bwd[i]) guarded[i] = 1;
+  }
+  return guarded;
+}
+
+// A counted loop: `li rC, k` dominating a straight-line body [H, br]
+// whose only write to rC is `addi rC, rC, -1`, closed by
+// `bne rC, r0, H`, with no control transfer into the body from outside.
+// Its queue effect is exactly k laps of the body's net delta, so the
+// balance walk can apply the remaining k-1 laps on the exit edge instead
+// of widening the occupancy to infinity.
+struct CountedLoop {
+  std::int64_t trips = 0;
+  int dldq = 0, dsdq = 0;  // net per-lap occupancy delta (exact)
+};
+
+std::vector<CountedLoop> counted_loops(const isa::Program& prog) {
+  const auto n = static_cast<std::int32_t>(prog.code.size());
+  std::vector<CountedLoop> counted(n);  // keyed by back-edge index; trips=0
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto& br = prog.code[i];
+    if (br.op != Opcode::BNE || br.target < 0 || br.target > i) continue;
+    if (!br.src2.is_int() || br.src2.idx != 0) continue;
+    if (!br.src1.is_int() || br.src1.idx == 0) continue;
+    const auto h = br.target;
+    const auto rc = br.src1;
+    bool simple = true;
+    int writes = 0, dldq = 0, dsdq = 0;
+    for (std::int32_t j = h; j < i && simple; ++j) {
+      const auto& inst = prog.code[j];
+      if (isa::is_control(inst.op) || inst.op == Opcode::HALT) {
+        simple = false;
+        break;
+      }
+      if (inst.info().writes_dst && inst.dst == rc) {
+        ++writes;
+        if (inst.op != Opcode::ADDI || inst.src1 != rc || inst.imm != -1)
+          simple = false;
+      }
+      const auto e = effect_of(inst);
+      dldq += e.ldq_lo;  // straight-line body: lo == hi, effects exact
+      dsdq += e.sdq_lo;
+    }
+    if (!simple || writes != 1) continue;
+    // The trip count must come from an `li` that reaches the header along
+    // straight-line code (no branch may separate init from loop).
+    std::int64_t trips = -1;
+    for (std::int32_t j = h - 1; j >= 0; --j) {
+      const auto& inst = prog.code[j];
+      if (isa::is_control(inst.op) || inst.op == Opcode::HALT) break;
+      if (inst.info().writes_dst && inst.dst == rc) {
+        if (inst.op == Opcode::ADDI && inst.src1.is_int() &&
+            inst.src1.idx == 0 && inst.imm >= 1)
+          trips = inst.imm;
+        break;
+      }
+    }
+    if (trips < 1) continue;
+    bool external_entry = false;
+    for (std::int32_t m = 0; m < n && !external_entry; ++m) {
+      if (m >= h && m <= i) continue;
+      const auto& inst = prog.code[m];
+      if ((isa::is_branch(inst.op) || isa::is_jump(inst.op) ||
+           inst.op == Opcode::BEOD) &&
+          inst.target >= h && inst.target <= i)
+        external_entry = true;
+    }
+    if (external_entry) continue;
+    counted[i] = {trips, dldq, dsdq};
+  }
+  return counted;
+}
+
 void note(VerifyResult& out, std::int32_t idx, const isa::Instruction& inst,
           const std::string& what) {
   std::ostringstream msg;
@@ -179,14 +305,26 @@ VerifyResult verify_separation(const isa::Program& prog) {
   // ---- sequential queue balance (interval dataflow with widening) --------
   // Tracks possible LDQ/SDQ occupancy at each instruction under sequential
   // (functional) execution.  lo < 0 means some path pops an empty queue;
-  // unbounded hi on a cycle means a layout that grows a queue every lap —
-  // a timing deadlock once capacity is exceeded.
+  // a hi past queue capacity means a layout the in-order front end cannot
+  // drain — a timing deadlock.  Two refinements keep hand-decoupled
+  // protocols verifiable: counted loops contribute their exact k-lap
+  // delta instead of widening, and LDQ pops on a BEOD cycle are clamped
+  // (the EOD protocol bounds them dynamically).
+  //
+  // Capacity mirrors machine::MachineConfig's default 32-entry queues; a
+  // bounded batch that fits verifies, one that does not is rejected just
+  // like the machines deadlock on it.
+  constexpr int kQueueCapacity = 32;
+  const auto guarded = eod_guarded_set(prog);
+  const auto counted = counted_loops(prog);
   std::vector<Interval> ldq_in(n), sdq_in(n);
   std::vector<int> visits(n, 0);
+  std::vector<int> last_ldq_hi(n, std::numeric_limits<int>::min());
+  std::vector<int> last_sdq_hi(n, std::numeric_limits<int>::min());
   std::vector<std::int32_t> work{prog.entry};
   ldq_in[prog.entry].reached = true;
   sdq_in[prog.entry].reached = true;
-  bool underflow_noted = false, growth_noted = false;
+  bool underflow_noted = false;
   while (!work.empty()) {
     const auto i = work.back();
     work.pop_back();
@@ -196,51 +334,75 @@ VerifyResult verify_separation(const isa::Program& prog) {
     ldq.hi = ldq.hi >= kInf ? kInf : ldq.hi + e.ldq_hi;
     sdq.lo += e.sdq_lo;
     sdq.hi = sdq.hi >= kInf ? kInf : sdq.hi + e.sdq_hi;
+    if (guarded[i] && ldq.lo < 0) ldq.lo = 0;
     if ((ldq.lo < 0 || sdq.lo < 0) && !underflow_noted) {
       underflow_noted = true;
       note(out, i, prog.code[i],
            "a path through here pops more than was pushed");
       break;
     }
-    if (++visits[i] > 8) {  // widen: the occupancy grows around a cycle
-      if (ldq.hi > ldq_in[i].hi) ldq.hi = kInf;
-      if (sdq.hi > sdq_in[i].hi) sdq.hi = kInf;
+    // Widen when the *incoming* bound keeps growing across visits — the
+    // signature of a cycle that pushes more than it pops every lap.
+    // (Out-vs-in comparison would widen any positive-effect instruction
+    // that is merely revisited, e.g. straight-line code after a loop.)
+    if (++visits[i] > 8) {
+      if (ldq_in[i].hi > last_ldq_hi[i] &&
+          last_ldq_hi[i] != std::numeric_limits<int>::min())
+        ldq.hi = kInf;
+      if (sdq_in[i].hi > last_sdq_hi[i] &&
+          last_sdq_hi[i] != std::numeric_limits<int>::min())
+        sdq.hi = kInf;
     }
-    // Successors.
-    const auto& inst = prog.code[i];
-    std::vector<std::int32_t> succs;
-    if (isa::is_jump(inst.op)) {
-      if (inst.op == Opcode::J || inst.op == Opcode::JAL) {
-        succs.push_back(inst.target);
-      } else {
-        // Indirect: conservatively stop balance tracking here.
-        continue;
-      }
-    } else if (inst.op == Opcode::HALT) {
-      continue;
-    } else {
-      if (isa::is_branch(inst.op) || inst.op == Opcode::BEOD)
-        if (inst.target >= 0) succs.push_back(inst.target);
-      if (i + 1 < n) succs.push_back(i + 1);
-    }
-    for (const auto s : succs) {
-      if (s < 0 || s >= n) continue;
+    last_ldq_hi[i] = ldq_in[i].hi;
+    last_sdq_hi[i] = sdq_in[i].hi;
+    for (const auto s : successors(prog, i)) {
       Interval l = ldq, q = sdq;
-      const bool changed =
-          ldq_in[s].merge(l) | sdq_in[s].merge(q);
+      if (counted[i].trips > 0 && s == i + 1) {
+        // Exit edge of a counted loop: the walked path covered one lap;
+        // add the remaining k-1 exactly.
+        const auto laps = counted[i].trips - 1;
+        const auto bump = [&](Interval& v, int d) {
+          const auto total = static_cast<std::int64_t>(d) * laps;
+          const auto add = [&](int x) {
+            const auto r = x + total;
+            return static_cast<int>(std::clamp<std::int64_t>(r, -kInf, kInf));
+          };
+          v.lo = add(v.lo);
+          if (v.hi < kInf) v.hi = add(v.hi);
+        };
+        bump(l, counted[i].dldq);
+        bump(q, counted[i].dsdq);
+        if (guarded[i] && l.lo < 0) l.lo = 0;
+        if ((l.lo < 0 || q.lo < 0) && !underflow_noted) {
+          underflow_noted = true;
+          note(out, i, prog.code[i],
+               "a path through here pops more than was pushed");
+          break;
+        }
+      } else if (counted[i].trips > 0 && s == prog.code[i].target) {
+        continue;  // back edge of a counted loop: cut, the exit edge
+                   // accounts for every lap
+      }
+      const bool changed = ldq_in[s].merge(l) | sdq_in[s].merge(q);
       if (changed && visits[s] < 64) work.push_back(s);
     }
   }
-  if (!growth_noted) {
-    for (std::int32_t i = 0; i < n; ++i) {
-      if ((ldq_in[i].reached && ldq_in[i].hi >= kInf) ||
-          (sdq_in[i].reached && sdq_in[i].hi >= kInf)) {
-        note(out, i, prog.code[i],
-             "queue occupancy grows without bound around a loop "
-             "(will deadlock the timing machines past queue capacity)");
-        growth_noted = true;
-        break;
-      }
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto worst =
+        std::max(ldq_in[i].reached ? ldq_in[i].hi : 0,
+                 sdq_in[i].reached ? sdq_in[i].hi : 0);
+    if (worst >= kInf) {
+      note(out, i, prog.code[i],
+           "queue occupancy grows without bound around a loop "
+           "(will deadlock the timing machines past queue capacity)");
+      break;
+    }
+    if (worst > kQueueCapacity) {
+      note(out, i, prog.code[i],
+           "peak queue occupancy " + std::to_string(worst) +
+               " exceeds the " + std::to_string(kQueueCapacity) +
+               "-entry queue capacity (will deadlock the timing machines)");
+      break;
     }
   }
 

@@ -1,0 +1,121 @@
+#include "fuzz/campaign.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <ostream>
+#include <set>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/shrink.hpp"
+#include "isa/assembler.hpp"
+
+namespace hidisc::fuzz {
+namespace {
+
+// Strips characters that do not belong in a filename.
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_')
+      out.push_back(c);
+    else
+      out.push_back('-');
+  }
+  return out;
+}
+
+std::size_t assembled_size(const std::string& source) {
+  try {
+    return isa::assemble(source).code.size();
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                          std::uint64_t run_index) {
+  std::uint64_t z = campaign_seed + 0x9e3779b97f4a7c15ull * (run_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+CampaignResult run_campaign(const CampaignOptions& opt) {
+  CampaignResult res;
+  std::set<std::string> seen;
+
+  for (int i = 0; i < opt.runs; ++i) {
+    const std::uint64_t kernel_seed =
+        derive_seed(opt.seed, static_cast<std::uint64_t>(i));
+    KernelGen gen(kernel_seed);
+    const Kernel kernel = gen.generate_random(opt.limits);
+    const OracleReport rep = run_oracles(to_source(kernel), opt.oracle);
+    ++res.runs_done;
+    res.dynamic_instructions += rep.dynamic_instructions;
+    if (rep.ok()) {
+      if (opt.log && (i + 1) % 200 == 0)
+        *opt.log << "[hifuzz] " << (i + 1) << "/" << opt.runs
+                 << " runs clean\n";
+      continue;
+    }
+
+    if (seen.count(rep.signature)) {
+      ++res.duplicate_failures;
+      continue;
+    }
+    seen.insert(rep.signature);
+
+    CampaignFailure f;
+    f.kernel_seed = kernel_seed;
+    f.report = rep;
+    if (opt.log)
+      *opt.log << "[hifuzz] FAILURE run " << i << " seed " << kernel_seed
+               << " stage " << stage_name(rep.stage) << " sig "
+               << rep.signature << ": " << rep.detail << "\n";
+
+    Kernel minimized = kernel;
+    if (opt.shrink) {
+      ShrinkOptions so;
+      so.max_evals = opt.shrink_max_evals;
+      const auto outcome =
+          shrink_kernel(kernel, opt.oracle, rep.signature, so);
+      if (outcome.reproduced) minimized = outcome.kernel;
+      if (opt.log)
+        *opt.log << "[hifuzz]   shrunk in " << outcome.evals
+                 << " oracle runs\n";
+    }
+    f.minimized_source = to_source(minimized);
+    f.minimized_instructions = assembled_size(f.minimized_source);
+
+    if (!opt.corpus_out.empty()) {
+      Repro r;
+      r.name = sanitize(rep.signature) + "-" + std::to_string(kernel_seed);
+      r.seed = kernel_seed;
+      r.expect = rep.signature;  // flip to "ok" once the bug is fixed
+      r.note = std::string("found by hifuzz; stage ") +
+               stage_name(rep.stage) + "; " + rep.detail;
+      r.source = f.minimized_source;
+      const auto path =
+          std::filesystem::path(opt.corpus_out) / (r.name + ".s");
+      write_repro(path, r);
+      f.repro_path = path.string();
+      if (opt.log)
+        *opt.log << "[hifuzz]   minimized reproducer ("
+                 << f.minimized_instructions << " instructions) -> "
+                 << f.repro_path << "\n";
+    }
+
+    res.failures.push_back(std::move(f));
+    if (static_cast<int>(res.failures.size()) >= opt.max_distinct_failures) {
+      if (opt.log)
+        *opt.log << "[hifuzz] stopping after "
+                 << res.failures.size() << " distinct failures\n";
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace hidisc::fuzz

@@ -1,0 +1,99 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hidisc::fuzz {
+namespace {
+
+// "  # key: value" -> {key, value}; empty key when the line is not a
+// metadata comment.
+std::pair<std::string, std::string> parse_meta(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '#') return {};
+  ++i;
+  while (i < line.size() && line[i] == ' ') ++i;
+  const auto colon = line.find(':', i);
+  if (colon == std::string::npos) return {};
+  std::string key = line.substr(i, colon - i);
+  std::size_t v = colon + 1;
+  while (v < line.size() && line[v] == ' ') ++v;
+  std::size_t e = line.size();
+  while (e > v && (line[e - 1] == ' ' || line[e - 1] == '\r')) --e;
+  return {std::move(key), line.substr(v, e - v)};
+}
+
+}  // namespace
+
+Repro load_repro(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("cannot open " + file.string());
+  Repro r;
+  r.path = file;
+  r.name = file.stem().string();
+  std::ostringstream src;
+  std::string line;
+  bool in_header = true;
+  while (std::getline(in, line)) {
+    if (in_header) {
+      const auto [key, value] = parse_meta(line);
+      if (!key.empty()) {
+        if (key == "name") r.name = value;
+        else if (key == "seed") r.seed = std::stoull(value);
+        else if (key == "expect") r.expect = value;
+        else if (key == "streams") r.streams = value;
+        else if (key == "note") r.note = value;
+        // Unknown keys (e.g. the "hifuzz-repro v1" banner) are ignored.
+        continue;
+      }
+      if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos)
+        continue;  // blank lines before the source
+      in_header = false;
+    }
+    src << line << "\n";
+  }
+  r.source = src.str();
+  if (r.source.empty())
+    throw std::runtime_error("no assembly source in " + file.string());
+  return r;
+}
+
+void write_repro(const std::filesystem::path& file, const Repro& r) {
+  if (file.has_parent_path())
+    std::filesystem::create_directories(file.parent_path());
+  std::ofstream out(file);
+  if (!out) throw std::runtime_error("cannot write " + file.string());
+  out << "# hifuzz-repro: v1\n";
+  out << "# name: " << r.name << "\n";
+  if (r.seed) out << "# seed: " << r.seed << "\n";
+  out << "# expect: " << r.expect << "\n";
+  if (!r.streams.empty()) out << "# streams: " << r.streams << "\n";
+  if (!r.note.empty()) out << "# note: " << r.note << "\n";
+  out << "\n" << r.source;
+  if (!r.source.empty() && r.source.back() != '\n') out << "\n";
+}
+
+std::vector<Repro> load_corpus(const std::filesystem::path& dir) {
+  if (!std::filesystem::is_directory(dir))
+    throw std::runtime_error("corpus directory not found: " + dir.string());
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".s")
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  std::vector<Repro> out;
+  out.reserve(files.size());
+  for (const auto& f : files) out.push_back(load_repro(f));
+  return out;
+}
+
+OracleReport replay(const Repro& r, const OracleOptions& opt) {
+  if (!r.streams.empty())
+    return run_decoupled_oracles(r.source, r.streams, opt);
+  return run_oracles(r.source, opt);
+}
+
+}  // namespace hidisc::fuzz

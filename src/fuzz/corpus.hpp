@@ -1,0 +1,55 @@
+// Reproducer corpus I/O.
+//
+// A corpus entry is a plain .s file whose leading `# key: value` comment
+// lines carry replay metadata (the assembler treats them as comments, so
+// the file also assembles as-is):
+//
+//   # hifuzz-repro v1
+//   # name: cvtfi-saturation
+//   # seed: 140737425802
+//   # expect: ok
+//   # streams: AACCA...        (optional: hand-decoupled entry)
+//   # note: free text
+//   .data
+//   ...
+//
+// `expect` is the oracle signature replay must produce — "ok" for every
+// regression entry (the bug the file once triggered is fixed).  Entries
+// with a `streams` header replay through the hand-decoupled oracle.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hpp"
+
+namespace hidisc::fuzz {
+
+struct Repro {
+  std::string name;
+  std::uint64_t seed = 0;           // 0 = hand-written
+  std::string expect = "ok";        // oracle signature replay must match
+  std::string streams;              // non-empty: decoupled replay mode
+  std::string note;
+  std::string source;               // assembly text (no metadata lines)
+  std::filesystem::path path;       // origin, when loaded from disk
+};
+
+// Parses a corpus file; throws std::runtime_error on malformed metadata.
+[[nodiscard]] Repro load_repro(const std::filesystem::path& file);
+
+// Writes `r` (creates parent directories as needed).
+void write_repro(const std::filesystem::path& file, const Repro& r);
+
+// Loads every *.s file in `dir`, sorted by filename.  Throws if the
+// directory does not exist.
+[[nodiscard]] std::vector<Repro> load_corpus(
+    const std::filesystem::path& dir);
+
+// Replays one entry through the right oracle (sequential or decoupled).
+[[nodiscard]] OracleReport replay(const Repro& r,
+                                  const OracleOptions& opt = {});
+
+}  // namespace hidisc::fuzz

@@ -1,0 +1,300 @@
+#include "fuzz/generator.hpp"
+
+#include <sstream>
+
+namespace hidisc::fuzz {
+
+std::string to_source(const Kernel& k) {
+  std::ostringstream src;
+  src << ".data\n";
+  for (const auto& d : k.data) src << d << "\n";
+  src << ".text\n_start:\n";
+  for (const auto& line : k.code) {
+    src << line.text;
+    if (line.count >= 0) src << line.count;
+    src << "\n";
+  }
+  return src.str();
+}
+
+std::size_t code_lines(const Kernel& k) {
+  std::size_t n = 0;
+  for (const auto& line : k.code) {
+    if (line.text.empty()) continue;
+    if (line.text.back() == ':' && line.count < 0) continue;  // label
+    ++n;
+  }
+  return n;
+}
+
+int KernelGen::pick(int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(gen_);
+}
+
+bool KernelGen::chance(int percent) { return pick(1, 100) <= percent; }
+
+std::string KernelGen::ir() { return "r" + std::to_string(pick(8, 15)); }
+std::string KernelGen::fr() { return "f" + std::to_string(pick(1, 8)); }
+std::string KernelGen::off8() { return std::to_string(pick(0, 511) * 8); }
+std::string KernelGen::off_any(int width) {
+  return std::to_string(pick(0, 4095 - width));
+}
+std::string KernelGen::const_reg() { return "r" + std::to_string(pick(16, 19)); }
+
+// Emits one random loop-body operation (possibly a short multi-line
+// sequence).  Every line is individually removable: the shrinker relies on
+// the oracle to reject candidates whose removal changes the failure.
+void KernelGen::emit_op(Kernel& k, const GenFeatures& f, int depth) {
+  auto& c = k.code;
+  auto put = [&](std::string s) { c.push_back({"  " + std::move(s), true, -1}); };
+
+  switch (pick(0, 21)) {
+    case 0: put("add  " + ir() + ", " + ir() + ", " + ir()); return;
+    case 1: put("sub  " + ir() + ", " + ir() + ", " + ir()); return;
+    case 2: put("mul  " + ir() + ", " + ir() + ", " + ir()); return;
+    case 3: put("xor  " + ir() + ", " + ir() + ", " + ir()); return;
+    case 4:
+      put("addi " + ir() + ", " + ir() + ", " + std::to_string(pick(-64, 64)));
+      return;
+    case 5:
+      put("slli " + ir() + ", " + ir() + ", " + std::to_string(pick(0, 7)));
+      return;
+    case 6: put("fadd " + fr() + ", " + fr() + ", " + fr()); return;
+    case 7: put("fmul " + fr() + ", " + fr() + ", " + fr()); return;
+    case 8: put("ld   " + ir() + ", " + off8() + "(r4)"); return;
+    case 9: put("sd   " + ir() + ", " + off8() + "(r4)"); return;
+    case 10: put("fld  " + fr() + ", " + off8() + "(r4)"); return;
+    case 11: put("fsd  " + fr() + ", " + off8() + "(r4)"); return;
+
+    case 12:  // more integer ALU variety
+      switch (pick(0, 5)) {
+        case 0: put("and  " + ir() + ", " + ir() + ", " + ir()); return;
+        case 1: put("or   " + ir() + ", " + ir() + ", " + ir()); return;
+        case 2: put("nor  " + ir() + ", " + ir() + ", " + ir()); return;
+        case 3:
+          put("srli " + ir() + ", " + ir() + ", " + std::to_string(pick(0, 31)));
+          return;
+        case 4:
+          put("srai " + ir() + ", " + ir() + ", " + std::to_string(pick(0, 31)));
+          return;
+        default: put("slt  " + ir() + ", " + ir() + ", " + ir()); return;
+      }
+    case 13:  // more FP variety (fsqrt over fabs keeps the value a number,
+              // NaN would still be deterministic but tells us less)
+      switch (pick(0, 5)) {
+        case 0: put("fsub " + fr() + ", " + fr() + ", " + fr()); return;
+        case 1: put("fdiv " + fr() + ", " + fr() + ", " + fr()); return;
+        case 2: {
+          const auto d = fr();
+          put("fabs " + d + ", " + fr());
+          put("fsqrt " + d + ", " + d);
+          return;
+        }
+        case 3: put("fmin " + fr() + ", " + fr() + ", " + fr()); return;
+        case 4: put("fmax " + fr() + ", " + fr() + ", " + fr()); return;
+        default: put("fneg " + fr() + ", " + fr()); return;
+      }
+    case 14:
+      if (!f.divides) break;
+      if (chance(50)) put("div  " + ir() + ", " + ir() + ", " + const_reg());
+      else put("rem  " + ir() + ", " + ir() + ", " + const_reg());
+      return;
+    case 15:  // cross-stream value flows: int <-> fp register files
+      if (!f.cross_stream) break;
+      switch (pick(0, 2)) {
+        case 0: put("cvtif " + fr() + ", " + ir()); return;
+        case 1: put("cvtfi " + ir() + ", " + fr()); return;
+        default: {
+          const char* cmp = pick(0, 2) == 0 ? "feq " : pick(0, 1) ? "flt " : "fle ";
+          put(std::string(cmp) + " " + ir() + ", " + fr() + ", " + fr());
+          return;
+        }
+      }
+    case 16: {  // pointer-chase: loaded value becomes the next load address
+      if (!f.pointer_chase) break;
+      put("ld   r20, " + off8() + "(r4)");
+      put("andi r20, r20, 4088");
+      put("add  r20, r4, r20");
+      put("ld   " + ir() + ", 0(r20)");
+      return;
+    }
+    case 17: {  // store through a computed, masked address
+      if (!f.pointer_chase) break;
+      put("andi r21, " + ir() + ", 4088");
+      put("add  r21, r4, r21");
+      if (chance(70)) put("sd   " + ir() + ", 0(r21)");
+      else put("fsd  " + fr() + ", 0(r21)");
+      return;
+    }
+    case 18: {  // loop-index-dependent load (streaming access pattern)
+      put("slli r21, r5, 3");
+      put("andi r21, r21, 4088");
+      put("add  r21, r4, r21");
+      put("ld   " + ir() + ", 0(r21)");
+      return;
+    }
+    case 19:  // sub-doubleword memory widths, arbitrary alignment
+      if (!f.wide_mem) break;
+      switch (pick(0, 6)) {
+        case 0: put("lbu  " + ir() + ", " + off_any(1) + "(r4)"); return;
+        case 1: put("lb   " + ir() + ", " + off_any(1) + "(r4)"); return;
+        case 2: put("lh   " + ir() + ", " + off_any(2) + "(r4)"); return;
+        case 3: put("lw   " + ir() + ", " + off_any(4) + "(r4)"); return;
+        case 4: put("sb   " + ir() + ", " + off_any(1) + "(r4)"); return;
+        case 5: put("sh   " + ir() + ", " + off_any(2) + "(r4)"); return;
+        default: put("sw   " + ir() + ", " + off_any(4) + "(r4)"); return;
+      }
+    case 20:
+      if (!f.prefetches) break;
+      put("pref " + off8() + "(r4)");
+      return;
+    case 21:
+      if (f.if_blocks && depth == 0 && chance(60)) {
+        emit_if_block(k, f);
+        return;
+      }
+      put("lui  " + ir() + ", " + std::to_string(pick(-32, 32)));
+      return;
+    default: break;
+  }
+  // Disabled feature: fall back to a core op.
+  put("add  " + ir() + ", " + ir() + ", " + ir());
+}
+
+void KernelGen::emit_if_block(Kernel& k, const GenFeatures& f) {
+  auto& c = k.code;
+  const std::string label = "skip" + std::to_string(label_counter_++);
+  const std::string cond = "r12";
+  if (f.cross_stream && chance(40)) {
+    c.push_back({"  flt  " + cond + ", " + fr() + ", " + fr(), true, -1});
+  } else {
+    c.push_back({"  slt  " + cond + ", " + ir() + ", " + ir(), true, -1});
+  }
+  c.push_back({"  beq  " + cond + ", r0, " + label, true, -1});
+  const int n = pick(1, 2);
+  for (int i = 0; i < n; ++i) emit_op(k, f, /*depth=*/1);
+  c.push_back({label + ":", true, -1});
+}
+
+void KernelGen::emit_inner_loop(Kernel& k, const GenFeatures& f) {
+  auto& c = k.code;
+  const std::string label = "inner" + std::to_string(label_counter_++);
+  c.push_back({"  li   r7, ", true, pick(2, 6)});
+  c.push_back({label + ":", true, -1});
+  const int n = pick(1, 3);
+  for (int i = 0; i < n; ++i) emit_op(k, f, /*depth=*/1);
+  c.push_back({"  addi r7, r7, -1", true, -1});
+  c.push_back({"  bne  r7, r0, " + label, true, -1});
+}
+
+Kernel KernelGen::generate_kernel(const GenOptions& opt) {
+  Kernel k;
+  k.seed = seed_;
+  k.data = {"buf:   .space 4096",
+            "seeds: .double 1.5, -2.25, 0.75, 3.0"};
+  auto& c = k.code;
+  const auto& f = opt.features;
+
+  // Prologue: bases, loop bound, FP/int register pools, constants.  The
+  // buf base and the main loop skeleton are the only non-removable lines —
+  // the shrinker may strip everything else and let the oracle re-validate.
+  c.push_back({"  la   r4, buf", false, -1});
+  c.push_back({"  li   r5, ", false, std::max(1, opt.iterations)});
+  c.push_back({"  la   r6, seeds", true, -1});
+  c.push_back({"  fld  f1, 0(r6)", true, -1});
+  c.push_back({"  fld  f2, 8(r6)", true, -1});
+  c.push_back({"  fld  f3, 16(r6)", true, -1});
+  c.push_back({"  fld  f4, 24(r6)", true, -1});
+  c.push_back({"  fadd f5, f1, f2", true, -1});
+  c.push_back({"  fmul f6, f3, f4", true, -1});
+  c.push_back({"  fsub f7, f2, f3", true, -1});
+  c.push_back({"  fadd f8, f4, f1", true, -1});
+  c.push_back({"  li   r8, 3", true, -1});
+  c.push_back({"  li   r9, -7", true, -1});
+  c.push_back({"  li   r10, 11", true, -1});
+  c.push_back({"  li   r11, 100", true, -1});
+  c.push_back({"  li   r12, 13", true, -1});
+  c.push_back({"  li   r13, 29", true, -1});
+  c.push_back({"  li   r14, -3", true, -1});
+  c.push_back({"  li   r15, 71", true, -1});
+  // Non-zero constant registers: legal div/rem divisors and multipliers.
+  c.push_back({"  li   r16, 3", true, -1});
+  c.push_back({"  li   r17, -7", true, -1});
+  c.push_back({"  li   r18, 11", true, -1});
+  c.push_back({"  li   r19, 5", true, -1});
+
+  if (f.init_loop) {
+    // Scatter 8-aligned offsets into buf so early pointer chases land on
+    // varied addresses instead of a sea of zeroes.
+    c.push_back({"  li   r7, ", true, 63});
+    c.push_back({"init:", true, -1});
+    c.push_back({"  slli r20, r7, 3", true, -1});
+    c.push_back({"  add  r20, r4, r20", true, -1});
+    c.push_back({"  mul  r21, r7, r18", true, -1});
+    c.push_back({"  slli r21, r21, 3", true, -1});
+    c.push_back({"  andi r21, r21, 4088", true, -1});
+    c.push_back({"  sd   r21, 0(r20)", true, -1});
+    c.push_back({"  addi r7, r7, -1", true, -1});
+    c.push_back({"  bne  r7, r0, init", true, -1});
+  }
+
+  c.push_back({"loop:", false, -1});
+  bool nested_done = false;
+  for (int i = 0; i < opt.body_ops; ++i) {
+    if (f.nested_loop && !nested_done && opt.body_ops > 6 &&
+        i == opt.body_ops / 2) {
+      emit_inner_loop(k, f);
+      nested_done = true;
+      continue;
+    }
+    emit_op(k, f, /*depth=*/0);
+  }
+  c.push_back({"  addi r5, r5, -1", false, -1});
+  c.push_back({"  bne  r5, r0, loop", false, -1});
+
+  // Persist every pool register so no computation is dead.
+  for (int r = 8; r <= 15; ++r)
+    c.push_back({"  sd   r" + std::to_string(r) + ", " +
+                     std::to_string((r - 8) * 8) + "(r4)",
+                 true, -1});
+  for (int fp = 1; fp <= 8; ++fp)
+    c.push_back({"  fsd  f" + std::to_string(fp) + ", " +
+                     std::to_string(56 + fp * 8) + "(r4)",
+                 true, -1});
+  c.push_back({"  halt", false, -1});
+  return k;
+}
+
+Kernel KernelGen::generate_random(const GenLimits& limits) {
+  GenOptions opt;
+  opt.body_ops = pick(limits.min_body_ops, limits.max_body_ops);
+  opt.iterations = pick(1, limits.max_iterations);
+  GenFeatures& f = opt.features;
+  f.pointer_chase = chance(70);
+  f.cross_stream = chance(70);
+  f.nested_loop = chance(50);
+  f.if_blocks = chance(60);
+  f.init_loop = chance(50);
+  f.wide_mem = chance(60);
+  f.divides = chance(50);
+  f.prefetches = chance(40);
+  return generate_kernel(opt);
+}
+
+std::string KernelGen::generate(int body_ops, int iterations) {
+  GenOptions opt;
+  opt.body_ops = body_ops;
+  opt.iterations = iterations;
+  GenFeatures& f = opt.features;
+  f.pointer_chase = chance(60);
+  f.cross_stream = chance(60);
+  f.nested_loop = chance(40);
+  f.if_blocks = chance(50);
+  f.init_loop = chance(40);
+  f.wide_mem = chance(50);
+  f.divides = chance(40);
+  f.prefetches = chance(30);
+  return to_source(generate_kernel(opt));
+}
+
+}  // namespace hidisc::fuzz

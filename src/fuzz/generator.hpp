@@ -1,0 +1,107 @@
+// Seeded random HiDISC kernel generator — the shared core behind the
+// property tests and the hifuzz differential fuzzer.
+//
+// Programs are *structured*: a sandboxed data segment (`buf`, 4096 bytes,
+// plus a few FP seed constants), a register-pool discipline that keeps
+// every operation well defined (divides only by non-zero constant
+// registers, addresses masked into `buf`, no indirect jumps), and loops
+// with explicit counters.  On top of the seed KernelGen's op mix this
+// generator adds pointer-chase load chains, cross-stream value flows
+// (CVTIF/CVTFI, FP compares feeding integer branches), nested loops,
+// guarded if-blocks, sub-doubleword memory widths, divides/remainders,
+// and prefetches — each gated by a feature flag so the fuzzer can vary
+// the mix per seed.
+//
+// A kernel is kept as a structured line list (`Kernel`), not a flat
+// string, so the shrinker can delta-debug it: every line knows whether it
+// is removable and whether it is a loop bound whose trip count can be
+// lowered.  `to_source` renders the assembly text.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace hidisc::fuzz {
+
+// One assembly source line of a generated kernel.
+struct CodeLine {
+  std::string text;       // rendered as-is; loop bounds append `count`
+  bool removable = true;  // shrinker may delete this line
+  std::int64_t count = -1;  // >= 0: `text` is a "li rN, " loop bound prefix
+};
+
+struct Kernel {
+  std::uint64_t seed = 0;
+  std::vector<std::string> data;  // lines of the .data segment
+  std::vector<CodeLine> code;     // lines of .text after _start:
+};
+
+// Renders the kernel as assembler input.
+[[nodiscard]] std::string to_source(const Kernel& k);
+
+// Counts renderable instructions (non-label, non-empty lines).  Cheap
+// upper bound used for reporting; the authoritative count is
+// isa::assemble(to_source(k)).code.size().
+[[nodiscard]] std::size_t code_lines(const Kernel& k);
+
+struct GenFeatures {
+  bool pointer_chase = true;  // load -> masked address -> dependent load
+  bool cross_stream = true;   // cvtif/cvtfi, fp compares into int regs
+  bool nested_loop = true;    // one inner loop with its own counter
+  bool if_blocks = true;      // forward-branch guarded op groups
+  bool init_loop = true;      // scatter offsets into buf before the loop
+  bool wide_mem = true;       // byte/half/word loads and stores
+  bool divides = true;        // div/rem by non-zero constant registers
+  bool prefetches = true;     // pref into the sandbox
+};
+
+struct GenOptions {
+  int body_ops = 24;     // random ops in the main loop body
+  int iterations = 200;  // main loop trip count
+  GenFeatures features{};
+};
+
+// Bounds for randomized per-seed options (used by the fuzz campaign).
+struct GenLimits {
+  int min_body_ops = 4;
+  int max_body_ops = 40;
+  int max_iterations = 64;
+};
+
+class KernelGen {
+ public:
+  explicit KernelGen(std::uint64_t seed) : seed_(seed), gen_(seed) {}
+
+  // Fully structured generation.
+  [[nodiscard]] Kernel generate_kernel(const GenOptions& opt);
+
+  // Randomizes GenOptions (sizes and feature mix) from this generator's
+  // own stream, then generates.  One call consumes the seed
+  // deterministically: same seed + limits -> same kernel.
+  [[nodiscard]] Kernel generate_random(const GenLimits& limits = {});
+
+  // Seed-compatible convenience used by the property tests: renders a
+  // kernel with feature flags drawn from the seed.
+  [[nodiscard]] std::string generate(int body_ops, int iterations);
+
+ private:
+  [[nodiscard]] int pick(int lo, int hi);
+  [[nodiscard]] bool chance(int percent);
+  [[nodiscard]] std::string ir();  // pool integer register r8..r15
+  [[nodiscard]] std::string fr();  // pool FP register f1..f8
+  [[nodiscard]] std::string off8();    // 8-aligned offset within buf
+  [[nodiscard]] std::string off_any(int width);  // any in-buf offset
+  [[nodiscard]] std::string const_reg();  // non-zero constant r16..r19
+
+  void emit_op(Kernel& k, const GenFeatures& f, int depth);
+  void emit_if_block(Kernel& k, const GenFeatures& f);
+  void emit_inner_loop(Kernel& k, const GenFeatures& f);
+
+  std::uint64_t seed_;
+  std::mt19937_64 gen_;
+  int label_counter_ = 0;
+};
+
+}  // namespace hidisc::fuzz

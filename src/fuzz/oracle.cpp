@@ -1,0 +1,415 @@
+#include "fuzz/oracle.hpp"
+
+#include <exception>
+#include <sstream>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "compiler/verify.hpp"
+#include "isa/assembler.hpp"
+#include "machine/machine.hpp"
+#include "sim/functional.hpp"
+
+namespace hidisc::fuzz {
+namespace {
+
+using isa::Opcode;
+
+// Turns the partially-filled report into a failure, keeping the fields
+// already gathered (instruction counts, fault_applied).
+OracleReport fail(OracleReport rep, Stage stage, std::string signature,
+                  std::string detail) {
+  rep.stage = stage;
+  rep.signature = std::move(signature);
+  rep.detail = std::move(detail);
+  return rep;
+}
+
+bool is_pop(Opcode op) {
+  return op == Opcode::POPLDQ || op == Opcode::POPLDQF ||
+         op == Opcode::POPSDQ || op == Opcode::POPSDQF;
+}
+
+// Mutates the separated binary; returns false when no injection site
+// exists (the shrinker then rejects such candidates).
+bool apply_fault(isa::Program& p, Fault fault) {
+  switch (fault) {
+    case Fault::None:
+      return true;
+    case Fault::DropPush:
+      for (auto& inst : p.code) {
+        if (inst.ann.push_ldq) {
+          inst.ann.push_ldq = false;
+          return true;
+        }
+      }
+      for (auto& inst : p.code) {
+        if (inst.ann.push_sdq) {
+          inst.ann.push_sdq = false;
+          return true;
+        }
+      }
+      return false;
+    case Fault::DropPop:
+      for (std::int32_t i = 0; i < static_cast<std::int32_t>(p.code.size());
+           ++i) {
+        if (p.code[i].ann.compiler_inserted && is_pop(p.code[i].op)) {
+          p.erase_at(i);
+          return true;
+        }
+      }
+      return false;
+    case Fault::MisStream:
+      // Only flip non-memory, non-control carriers: a memory op routed to
+      // the CP (which has no LSU) is outside the machine's contract
+      // entirely, while a mis-streamed ALU op is exactly the subtle
+      // separator bug class the verifier must catch.
+      for (auto& inst : p.code) {
+        if (inst.ann.push_ldq && !isa::is_mem(inst.op) &&
+            !isa::is_control(inst.op)) {
+          inst.ann.stream = isa::Stream::Compute;
+          return true;
+        }
+      }
+      for (auto& inst : p.code) {
+        if (inst.ann.push_sdq && !isa::is_mem(inst.op) &&
+            !isa::is_control(inst.op) && isa::is_fp_compute(inst.op)) {
+          inst.ann.stream = isa::Stream::Access;
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+struct MachineVerdict {
+  bool deadlock = false;
+  std::string deadlock_preset;
+  std::string deadlock_detail;
+  Stage stage = Stage::Ok;  // first non-deadlock machine failure
+  std::string signature;
+  std::string detail;
+  [[nodiscard]] bool clean() const {
+    return !deadlock && stage == Stage::Ok;
+  }
+};
+
+// Runs `preset` under both schedulers and checks every machine-level
+// invariant.  `bin`/`tr` must be the preset-appropriate binary and trace.
+void check_preset(MachineVerdict& v, const isa::Program& bin,
+                  const sim::Trace& tr, machine::Preset preset,
+                  std::uint64_t watchdog, bool check_balance = true) {
+  if (v.deadlock || v.stage != Stage::Ok) return;
+  const char* name = machine::preset_name(preset);
+  machine::MachineConfig cfg;
+  cfg.watchdog_cycles = watchdog;
+  machine::Result es, ls;
+  try {
+    cfg.scheduler = machine::SchedulerKind::EventSkip;
+    es = machine::run_machine(bin, tr, preset, cfg);
+    cfg.scheduler = machine::SchedulerKind::Lockstep;
+    ls = machine::run_machine(bin, tr, preset, cfg);
+  } catch (const std::exception& e) {
+    v.deadlock = true;
+    v.deadlock_preset = name;
+    v.deadlock_detail = e.what();
+    return;
+  }
+  if (!(es == ls)) {
+    v.stage = Stage::SchedulerDivergence;
+    v.signature = std::string("sched-div:") + name;
+    std::ostringstream os;
+    os << "EventSkip and Lockstep Results differ on " << name
+       << " (cycles " << es.cycles << " vs " << ls.cycles << ", instructions "
+       << es.instructions << " vs " << ls.instructions << ")";
+    v.detail = os.str();
+    return;
+  }
+  if (es.instructions != tr.size()) {
+    v.stage = Stage::Machine;
+    v.signature = std::string("retire-count:") + name;
+    v.detail = std::string(name) + " retired " +
+               std::to_string(es.instructions) + " of " +
+               std::to_string(tr.size()) + " trace entries";
+    return;
+  }
+  if (!check_balance) return;
+  if (es.ldq.pushes != es.ldq.pops) {
+    v.stage = Stage::Machine;
+    v.signature = std::string("ldq-balance:") + name;
+    v.detail = std::string(name) + " LDQ pushes " +
+               std::to_string(es.ldq.pushes) + " != pops " +
+               std::to_string(es.ldq.pops);
+    return;
+  }
+  if (es.sdq.pushes != es.sdq.pops) {
+    v.stage = Stage::Machine;
+    v.signature = std::string("sdq-balance:") + name;
+    v.detail = std::string(name) + " SDQ pushes " +
+               std::to_string(es.sdq.pushes) + " != pops " +
+               std::to_string(es.sdq.pops);
+    return;
+  }
+  if (es.scq.pops > es.scq.pushes) {
+    v.stage = Stage::Machine;
+    v.signature = std::string("scq-underflow:") + name;
+    v.detail = std::string(name) + " SCQ popped more tokens than were put";
+    return;
+  }
+}
+
+std::string first_violations(const compiler::VerifyResult& vr, std::size_t n) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < vr.violations.size() && i < n; ++i) {
+    if (i) os << "; ";
+    os << vr.violations[i];
+  }
+  if (vr.violations.size() > n)
+    os << "; ... (" << vr.violations.size() << " total)";
+  return os.str();
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::Ok: return "ok";
+    case Stage::Assemble: return "assemble";
+    case Stage::FunctionalOriginal: return "functional-original";
+    case Stage::Compile: return "compile";
+    case Stage::Verify: return "verify";
+    case Stage::FunctionalSeparated: return "functional-separated";
+    case Stage::DigestMismatch: return "digest-mismatch";
+    case Stage::Machine: return "machine";
+    case Stage::SchedulerDivergence: return "scheduler-divergence";
+    case Stage::VerifyMachineGap: return "verify-machine-gap";
+  }
+  return "?";
+}
+
+OracleReport run_oracles(const std::string& source, const OracleOptions& opt) {
+  OracleReport rep;
+
+  // 1. Assemble.
+  isa::Program prog;
+  try {
+    prog = isa::assemble(source);
+  } catch (const std::exception& e) {
+    return fail(rep, Stage::Assemble, "assemble", e.what());
+  }
+  rep.static_instructions = prog.code.size();
+
+  // 2. Functional execution of the raw sequential program.
+  std::uint64_t orig_digest = 0;
+  {
+    sim::Functional f(prog);
+    try {
+      f.run(opt.max_steps);
+    } catch (const std::exception& e) {
+      return fail(rep, Stage::FunctionalOriginal, "functional-original", e.what());
+    }
+    orig_digest = f.memory().digest();
+    rep.dynamic_instructions = f.instructions();
+  }
+
+  // 3. Compile (flow-sensitive separator, CMAS on).
+  compiler::Compilation comp;
+  try {
+    compiler::CompileOptions co;
+    co.max_steps = opt.max_steps;
+    comp = compiler::compile(prog, co);
+  } catch (const std::exception& e) {
+    return fail(rep, Stage::Compile, "compile", e.what());
+  }
+
+  // 4. Optional fault injection into the separated binary.
+  rep.fault_applied = apply_fault(comp.separated, opt.fault);
+  if (opt.fault != Fault::None && !rep.fault_applied) {
+    rep.detail = "no injection site for the requested fault";
+    return rep;  // Ok: nothing to diverge
+  }
+
+  // 5. Structural verification of the separated binary.
+  const auto vr = compiler::verify_separation(comp.separated);
+
+  // 6. Functional execution of the separated binary.
+  bool sep_ok = true;
+  std::string sep_err;
+  std::uint64_t sep_digest = 0;
+  sim::Trace sep_trace;
+  try {
+    sim::Functional fs(comp.separated);
+    sep_trace = fs.run_trace(opt.max_steps);
+    sep_digest = fs.memory().digest();
+  } catch (const std::exception& e) {
+    sep_ok = false;
+    sep_err = e.what();
+  }
+
+  // 7. Machines: every preset under both schedulers.  Superscalar and
+  // CP+CMP consume the annotated original; CP+AP and HiDISC the separated
+  // binary.  Needs the original's trace too.
+  MachineVerdict mv;
+  bool machines_ran = false;
+  if (opt.run_machines && sep_ok) {
+    sim::Trace orig_trace;
+    try {
+      sim::Functional fo(comp.original);
+      orig_trace = fo.run_trace(opt.max_steps);
+    } catch (const std::exception& e) {
+      return fail(rep, Stage::FunctionalOriginal, "functional-annotated-original",
+                  e.what());
+    }
+    machines_ran = true;
+    check_preset(mv, comp.original, orig_trace, machine::Preset::Superscalar,
+                 opt.watchdog);
+    check_preset(mv, comp.original, orig_trace, machine::Preset::CPCMP,
+                 opt.watchdog);
+    check_preset(mv, comp.separated, sep_trace, machine::Preset::CPAP,
+                 opt.watchdog);
+    check_preset(mv, comp.separated, sep_trace, machine::Preset::HiDISC,
+                 opt.watchdog);
+  }
+
+  // 8. Decide, in severity order, with the verify/machine agreement
+  // contract folded in: verify acceptance and machine non-deadlock must
+  // never disagree.
+  if (!vr.ok()) {
+    if (machines_ran && mv.clean())
+      return fail(rep, Stage::VerifyMachineGap, "gap:verify-reject-machines-ok",
+                  "verifier rejects but all machines ran clean: " +
+                      first_violations(vr, 3));
+    return fail(rep, Stage::Verify, "verify-reject", first_violations(vr, 3));
+  }
+  if (!sep_ok)
+    return fail(rep, Stage::FunctionalSeparated, "functional-separated", sep_err);
+  if (sep_digest != orig_digest)
+    return fail(rep, Stage::DigestMismatch, "digest-separated",
+                "memory image of the separated binary diverged from the "
+                "original");
+  if (mv.deadlock)
+    return fail(rep, Stage::VerifyMachineGap,
+                "gap:verify-ok-deadlock:" + mv.deadlock_preset,
+                "verifier accepted the binary but " + mv.deadlock_preset +
+                    " deadlocked: " + mv.deadlock_detail);
+  if (mv.stage != Stage::Ok) return fail(rep, mv.stage, mv.signature, mv.detail);
+
+  // 9. Flow-insensitive separator ablation: same functional behaviour,
+  // never fewer queue transfers than the flow-sensitive separator.
+  if (opt.check_flow_insensitive && opt.fault == Fault::None) {
+    compiler::Compilation fi;
+    try {
+      compiler::CompileOptions co;
+      co.max_steps = opt.max_steps;
+      co.flow_sensitive_comm = false;
+      fi = compiler::compile(prog, co);
+    } catch (const std::exception& e) {
+      return fail(rep, Stage::Compile, "compile-flow-insensitive", e.what());
+    }
+    const auto fvr = compiler::verify_separation(fi.separated);
+    if (!fvr.ok())
+      return fail(rep, Stage::Verify, "verify-reject-flow-insensitive",
+                  first_violations(fvr, 3));
+    try {
+      sim::Functional ff(fi.separated);
+      ff.run(opt.max_steps);
+      if (ff.memory().digest() != orig_digest)
+        return fail(rep, Stage::DigestMismatch, "digest-flow-insensitive",
+                    "flow-insensitive separation changed the memory image");
+    } catch (const std::exception& e) {
+      return fail(rep, Stage::FunctionalSeparated,
+                  "functional-flow-insensitive", e.what());
+    }
+    if (fi.inserted_pops < comp.inserted_pops)
+      return fail(rep, Stage::Compile, "flow-insensitive-fewer-pops",
+                  "flow-insensitive separator inserted fewer pops (" +
+                      std::to_string(fi.inserted_pops) + ") than the "
+                      "flow-sensitive one (" +
+                      std::to_string(comp.inserted_pops) + ")");
+  }
+
+  return rep;  // Ok
+}
+
+OracleReport run_decoupled_oracles(const std::string& source,
+                                   const std::string& streams,
+                                   const OracleOptions& opt) {
+  OracleReport rep;
+  isa::Program prog;
+  try {
+    prog = isa::assemble(source);
+  } catch (const std::exception& e) {
+    return fail(rep, Stage::Assemble, "assemble", e.what());
+  }
+  rep.static_instructions = prog.code.size();
+
+  // Apply the stream tags ('A'/'C', whitespace ignored).
+  std::vector<isa::Stream> tags;
+  for (char ch : streams) {
+    if (ch == 'A' || ch == 'a') tags.push_back(isa::Stream::Access);
+    else if (ch == 'C' || ch == 'c') tags.push_back(isa::Stream::Compute);
+    else if (ch == ' ' || ch == '\t') continue;
+    else
+      return fail(rep, Stage::Assemble, "streams-bad-char",
+                  std::string("unexpected character in streams: ") + ch);
+  }
+  if (tags.size() != prog.code.size())
+    return fail(rep, Stage::Assemble, "streams-length",
+                "streams tag count " + std::to_string(tags.size()) +
+                    " != instruction count " +
+                    std::to_string(prog.code.size()));
+  for (std::size_t i = 0; i < tags.size(); ++i)
+    prog.code[i].ann.stream = tags[i];
+
+  const auto vr = compiler::verify_separation(prog);
+
+  sim::Trace trace;
+  bool func_ok = true;
+  std::string func_err;
+  try {
+    sim::Functional f(prog);
+    trace = f.run_trace(opt.max_steps);
+    rep.dynamic_instructions = trace.size();
+  } catch (const std::exception& e) {
+    func_ok = false;
+    func_err = e.what();
+  }
+
+  MachineVerdict mv;
+  bool machines_ran = false;
+  const bool has_eod = [&] {
+    for (const auto& inst : prog.code)
+      if (inst.op == Opcode::PUTEOD || inst.op == Opcode::BEOD) return true;
+    return false;
+  }();
+  if (opt.run_machines && func_ok) {
+    machines_ran = true;
+    // BEOD's probe-and-requeue makes raw push/pop counts legitimately
+    // asymmetric on EOD protocols; the balance oracle only binds without
+    // EOD tokens.
+    check_preset(mv, prog, trace, machine::Preset::CPAP, opt.watchdog,
+                 /*check_balance=*/!has_eod);
+    check_preset(mv, prog, trace, machine::Preset::HiDISC, opt.watchdog,
+                 /*check_balance=*/!has_eod);
+  }
+
+  if (!vr.ok()) {
+    if (machines_ran && mv.clean())
+      return fail(rep, Stage::VerifyMachineGap, "gap:verify-reject-machines-ok",
+                  "verifier rejects but machines ran clean: " +
+                      first_violations(vr, 3));
+    return fail(rep, Stage::Verify, "verify-reject", first_violations(vr, 3));
+  }
+  if (!func_ok)
+    return fail(rep, Stage::FunctionalOriginal, "functional-original", func_err);
+  if (mv.deadlock)
+    return fail(rep, Stage::VerifyMachineGap,
+                "gap:verify-ok-deadlock:" + mv.deadlock_preset,
+                "verifier accepted the binary but " + mv.deadlock_preset +
+                    " deadlocked: " + mv.deadlock_detail);
+  if (mv.stage != Stage::Ok) return fail(rep, mv.stage, mv.signature, mv.detail);
+  return rep;
+}
+
+}  // namespace hidisc::fuzz

@@ -1,0 +1,89 @@
+// Multi-oracle differential pipeline for HiDISC programs.
+//
+// One `run_oracles` call drives a sequential source kernel through every
+// equivalence the repository claims and returns the first violated one:
+//
+//   assemble -> functional sim of the original
+//            -> hidisc compile (flow-sensitive + flow-insensitive)
+//            -> verify_separation on the separated binary
+//            -> functional sim of the separated binary
+//            -> memory-image equality original vs separated (both modes)
+//            -> all four machine presets, each run under the EventSkip AND
+//               Lockstep schedulers, asserting bit-identical Results,
+//               full-trace retirement, LDQ/SDQ push/pop balance and SCQ
+//               non-underflow
+//            -> the verify/machine contract: verify_separation acceptance
+//               and machine non-deadlock must agree.
+//
+// A second entry point replays *hand-decoupled* programs (explicit queue
+// opcodes + EOD/SCQ tokens, per-instruction stream tags supplied
+// alongside): those skip the compiler and run verify + functional +
+// CP+AP / HiDISC machines directly.
+//
+// Failures carry a `signature` — a short, index-free key (e.g.
+// "digest-separated", "sched-div:CP+AP", "gap:verify-ok-deadlock") — that
+// the shrinker uses to check a smaller candidate still fails *the same
+// way*, and the campaign uses to deduplicate finds.
+//
+// `Fault` injects a deliberate separator bug into the compiled binary
+// before the downstream oracles run; it exists to test the oracles and to
+// exercise the shrinker on demand (`hifuzz --demo-shrink`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hidisc::fuzz {
+
+enum class Fault : std::uint8_t {
+  None,
+  DropPush,   // clear the first push_ldq/push_sdq producer flag
+  DropPop,    // delete the first compiler-inserted queue pop
+  MisStream,  // move a queue-pushing ALU op to the wrong stream
+};
+
+enum class Stage : std::uint8_t {
+  Ok,
+  Assemble,
+  FunctionalOriginal,
+  Compile,
+  Verify,
+  FunctionalSeparated,
+  DigestMismatch,
+  Machine,
+  SchedulerDivergence,
+  VerifyMachineGap,
+};
+
+[[nodiscard]] const char* stage_name(Stage s) noexcept;
+
+struct OracleOptions {
+  Fault fault = Fault::None;
+  std::uint64_t max_steps = 8'000'000;  // functional-sim budget per run
+  std::uint64_t watchdog = 200'000;     // machine no-progress abort
+  bool check_flow_insensitive = true;   // also diff the ablation separator
+  bool run_machines = true;
+};
+
+struct OracleReport {
+  Stage stage = Stage::Ok;
+  std::string signature = "ok";  // index-free key for dedup/shrinking
+  std::string detail;            // human-readable specifics
+  std::size_t static_instructions = 0;
+  std::uint64_t dynamic_instructions = 0;
+  bool fault_applied = false;  // an injection site was found and mutated
+
+  [[nodiscard]] bool ok() const noexcept { return stage == Stage::Ok; }
+};
+
+// Sequential-source pipeline (the fuzzer's path).
+[[nodiscard]] OracleReport run_oracles(const std::string& source,
+                                       const OracleOptions& opt = {});
+
+// Hand-decoupled pipeline: `streams` holds one 'A' (access) or 'C'
+// (compute) per instruction, in program order.
+[[nodiscard]] OracleReport run_decoupled_oracles(const std::string& source,
+                                                 const std::string& streams,
+                                                 const OracleOptions& opt = {});
+
+}  // namespace hidisc::fuzz

@@ -1,0 +1,131 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hidisc::fuzz {
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const OracleOptions& oracle_opts, std::string signature,
+           std::size_t max_evals)
+      : oracle_opts_(oracle_opts),
+        signature_(std::move(signature)),
+        max_evals_(max_evals) {}
+
+  [[nodiscard]] std::size_t evals() const { return evals_; }
+  [[nodiscard]] bool budget_left() const { return evals_ < max_evals_; }
+
+  // True when the candidate still fails with the target signature.
+  bool still_fails(const Kernel& k) {
+    if (!budget_left()) return false;
+    ++evals_;
+    const auto rep = run_oracles(to_source(k), oracle_opts_);
+    return !rep.ok() && rep.signature == signature_;
+  }
+
+  // Greedily lower every loop trip count.
+  bool lower_counts(Kernel& k) {
+    bool changed = false;
+    for (auto& line : k.code) {
+      if (line.count <= 1) continue;
+      for (const std::int64_t trial :
+           {std::int64_t{1}, std::int64_t{2}, line.count / 8,
+            line.count / 2}) {
+        if (trial < 1 || trial >= line.count) continue;
+        const std::int64_t saved = line.count;
+        line.count = trial;
+        if (still_fails(k)) {
+          changed = true;
+          break;
+        }
+        line.count = saved;
+        if (!budget_left()) return changed;
+      }
+    }
+    return changed;
+  }
+
+  // Chunked removal of removable lines (ddmin flavour): try to delete
+  // windows of shrinking size until no single line can go.
+  bool remove_lines(Kernel& k) {
+    bool changed = false;
+    bool progress = true;
+    while (progress && budget_left()) {
+      progress = false;
+      std::vector<std::size_t> removable;
+      for (std::size_t i = 0; i < k.code.size(); ++i)
+        if (k.code[i].removable) removable.push_back(i);
+      if (removable.empty()) break;
+      for (std::size_t chunk = std::max<std::size_t>(removable.size() / 2, 1);
+           chunk >= 1; chunk /= 2) {
+        bool removed_at_this_size = false;
+        for (std::size_t start = 0; start < removable.size();) {
+          if (!budget_left()) return changed;
+          const std::size_t end = std::min(start + chunk, removable.size());
+          Kernel cand = without(k, removable, start, end);
+          if (still_fails(cand)) {
+            k = std::move(cand);
+            removable.erase(removable.begin() +
+                                static_cast<std::ptrdiff_t>(start),
+                            removable.begin() +
+                                static_cast<std::ptrdiff_t>(end));
+            // Reindex the survivors after the deletion.
+            const std::size_t deleted = end - start;
+            for (std::size_t j = start; j < removable.size(); ++j)
+              removable[j] -= deleted;
+            changed = progress = removed_at_this_size = true;
+          } else {
+            start = end;
+          }
+        }
+        if (chunk == 1 && !removed_at_this_size) break;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  // Copy of `k` minus the code lines at removable[start..end).
+  static Kernel without(const Kernel& k,
+                        const std::vector<std::size_t>& removable,
+                        std::size_t start, std::size_t end) {
+    Kernel out;
+    out.seed = k.seed;
+    out.data = k.data;
+    std::vector<bool> drop(k.code.size(), false);
+    for (std::size_t j = start; j < end; ++j) drop[removable[j]] = true;
+    out.code.reserve(k.code.size() - (end - start));
+    for (std::size_t i = 0; i < k.code.size(); ++i)
+      if (!drop[i]) out.code.push_back(k.code[i]);
+    return out;
+  }
+
+  const OracleOptions& oracle_opts_;
+  std::string signature_;
+  std::size_t max_evals_;
+  std::size_t evals_ = 0;
+};
+
+}  // namespace
+
+ShrinkOutcome shrink_kernel(const Kernel& k, const OracleOptions& oracle_opts,
+                            const std::string& signature,
+                            const ShrinkOptions& opt) {
+  ShrinkOutcome out;
+  out.kernel = k;
+  Shrinker s(oracle_opts, signature, opt.max_evals);
+  if (!s.still_fails(out.kernel)) {
+    out.evals = s.evals();
+    return out;  // reproduced stays false
+  }
+  out.reproduced = true;
+  s.lower_counts(out.kernel);
+  s.remove_lines(out.kernel);
+  s.lower_counts(out.kernel);  // smaller body may allow lower trip counts
+  out.evals = s.evals();
+  return out;
+}
+
+}  // namespace hidisc::fuzz

@@ -1,0 +1,37 @@
+// Delta-debugging shrinker for generated kernels.
+//
+// Given a kernel whose oracle run fails with a particular signature, the
+// shrinker searches for a smaller kernel that still fails with the *same*
+// signature: loop trip counts are lowered greedily, then removable lines
+// are deleted with ddmin-style chunked removal, then counts are lowered
+// again.  Every candidate is re-validated through the full oracle stack,
+// so structurally broken candidates (deleted labels, runaway loops,
+// vanished injection sites) are rejected automatically — they fail at a
+// different stage or not at all.
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace hidisc::fuzz {
+
+struct ShrinkOptions {
+  std::size_t max_evals = 2000;  // oracle-run budget for the search
+};
+
+struct ShrinkOutcome {
+  Kernel kernel;             // smallest same-signature kernel found
+  std::size_t evals = 0;     // oracle runs spent
+  bool reproduced = false;   // the input kernel failed as claimed
+};
+
+// `signature` must be the failing OracleReport::signature of `k` under
+// `oracle_opts` (including any injected fault).
+[[nodiscard]] ShrinkOutcome shrink_kernel(const Kernel& k,
+                                          const OracleOptions& oracle_opts,
+                                          const std::string& signature,
+                                          const ShrinkOptions& opt = {});
+
+}  // namespace hidisc::fuzz

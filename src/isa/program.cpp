@@ -42,6 +42,19 @@ void Program::insert_after(std::int32_t pos, Instruction inst) {
   code.insert(code.begin() + at, inst);
 }
 
+void Program::erase_at(std::int32_t pos) {
+  if (pos < 0 || pos >= static_cast<std::int32_t>(code.size()))
+    throw std::out_of_range("erase_at: bad position");
+  code.erase(code.begin() + pos);
+  for (auto& inst : code) {
+    if (inst.target > pos) --inst.target;
+  }
+  for (auto& [name, idx] : code_labels) {
+    if (idx > pos) --idx;
+  }
+  if (entry > pos) --entry;
+}
+
 void Program::insert_before(std::int32_t pos, Instruction inst) {
   if (pos < 0 || pos > static_cast<std::int32_t>(code.size()))
     throw std::out_of_range("insert_before: bad position");

@@ -47,6 +47,11 @@ struct Program {
   // Inserts `inst` so that it executes immediately before `pos` and is
   // reached by every control transfer that targeted `pos`.
   void insert_before(std::int32_t pos, Instruction inst);
+
+  // Removes the instruction at `pos`, remapping branch/jump targets, code
+  // labels, and the entry point.  Transfers that targeted `pos` fall
+  // through to its successor.  Used by the fuzz fault injector.
+  void erase_at(std::int32_t pos);
 };
 
 }  // namespace hidisc::isa

@@ -151,7 +151,17 @@ bool Functional::step(TraceEntry* out) {
     case Opcode::FABS: wf(std::fabs(fs1())); break;
     case Opcode::FMOV: wf(fs1()); break;
     case Opcode::CVTIF: wf(static_cast<double>(rs1())); break;
-    case Opcode::CVTFI: wr(static_cast<std::int64_t>(fs1())); break;
+    case Opcode::CVTFI: {
+      // Saturating conversion (RISC-V FCVT.L.D semantics): values outside
+      // the int64 range clamp, NaN converts to zero.  A plain static_cast
+      // is undefined for those inputs (caught by the fuzzer under UBSan).
+      const double v = fs1();
+      if (std::isnan(v)) wr(0);
+      else if (v >= 9223372036854775808.0) wr(INT64_MAX);
+      else if (v < -9223372036854775808.0) wr(INT64_MIN);
+      else wr(static_cast<std::int64_t>(v));
+      break;
+    }
     case Opcode::FEQ: wr(fs1() == fs2() ? 1 : 0); break;
     case Opcode::FLT: wr(fs1() < fs2() ? 1 : 0); break;
     case Opcode::FLE: wr(fs1() <= fs2() ? 1 : 0); break;

@@ -1,0 +1,32 @@
+# hifuzz-repro: v1
+# name: cross-stream-flow
+# expect: ok
+# note: cvtif/cvtfi round trips and an FP compare feeding an integer
+# note: branch -- every value crossing forces an LDQ/SDQ communication
+
+.data
+buf:   .space 4096
+seeds: .double 1.5, -2.25, 0.75, 3.0
+.text
+_start:
+  la   r4, buf
+  la   r6, seeds
+  fld  f1, 0(r6)
+  fld  f2, 8(r6)
+  li   r5, 32
+  li   r8, 7
+loop:
+  cvtif f3, r8
+  fadd f4, f3, f1
+  cvtfi r9, f4
+  add  r8, r8, r9
+  flt  r10, f2, f4
+  beq  r10, r0, skip
+  addi r8, r8, 3
+skip:
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  sd   r8, 0(r4)
+  sd   r9, 8(r4)
+  fsd  f4, 16(r4)
+  halt

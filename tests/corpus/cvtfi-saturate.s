@@ -1,0 +1,32 @@
+# hifuzz-repro: v1
+# name: cvtfi-saturate
+# expect: ok
+# note: regression for the CVTFI out-of-range/NaN fix found by fuzzing --
+# note: converting 1e300, -1e300 and sqrt(-2.25) must saturate to
+# note: INT64_MAX / INT64_MIN / 0 instead of invoking undefined behaviour
+
+.data
+buf:  .space 4096
+huge: .double 1e300, -1e300, -2.25
+.text
+_start:
+  la    r4, buf
+  la    r6, huge
+  fld   f1, 0(r6)
+  fld   f2, 8(r6)
+  fld   f3, 16(r6)
+  fsqrt f4, f3
+  cvtfi r8, f1
+  cvtfi r9, f2
+  cvtfi r10, f4
+  li    r5, 4
+loop:
+  cvtfi r11, f1
+  add   r12, r12, r11
+  addi  r5, r5, -1
+  bne   r5, r0, loop
+  sd    r8, 0(r4)
+  sd    r9, 8(r4)
+  sd    r10, 16(r4)
+  sd    r12, 24(r4)
+  halt

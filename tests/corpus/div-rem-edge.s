@@ -1,0 +1,31 @@
+# hifuzz-repro: v1
+# name: div-rem-edge
+# expect: ok
+# note: INT64_MIN / -1 and INT64_MIN % -1 -- the one signed-division case
+# note: C++ leaves undefined; the functional simulator pins it to
+# note: (INT64_MIN, 0) like RISC-V
+
+.data
+buf: .space 4096
+.text
+_start:
+  la   r4, buf
+  li   r8, 1
+  slli r8, r8, 63
+  li   r9, -1
+  div  r10, r8, r9
+  rem  r11, r8, r9
+  li   r5, 8
+  li   r12, 1000
+loop:
+  div  r13, r12, r9
+  rem  r14, r10, r12
+  sub  r12, r12, r13
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  sd   r10, 0(r4)
+  sd   r11, 8(r4)
+  sd   r12, 16(r4)
+  sd   r13, 24(r4)
+  sd   r14, 32(r4)
+  halt

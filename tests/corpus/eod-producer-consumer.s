@@ -1,0 +1,34 @@
+# hifuzz-repro: v1
+# name: eod-producer-consumer
+# expect: ok
+# streams: AAAAAAAACCCCCAAAA
+# note: hand-decoupled Figure-3 protocol -- AP pushes a batch and signals
+# note: EOD, CP drains via BEOD; replayed through the decoupled oracle
+# note: (streams tag per instruction, push/pop counts legitimately
+# note: asymmetric because BEOD probes without consuming)
+
+.data
+vals: .space 800
+out:  .space 8
+.text
+_start:
+  la   r4, vals
+  li   r5, 20
+loop:
+  ld   r6, 0(r4)
+  pushldq r6
+  addi r4, r4, 8
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  puteod
+cp_entry:
+  popldq r8
+  add  r9, r9, r8
+  beod done
+  j    cp_entry
+done:
+  pushsdq r9
+  popsdq r10
+  la   r11, out
+  sd   r10, 0(r11)
+  halt

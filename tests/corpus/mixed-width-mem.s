@@ -1,0 +1,30 @@
+# hifuzz-repro: v1
+# name: mixed-width-mem
+# expect: ok
+# note: byte/half/word stores and sign-extending reloads interleaved with
+# note: doubleword traffic
+
+.data
+buf: .space 4096
+.text
+_start:
+  la   r4, buf
+  li   r8, -1000
+  li   r5, 16
+loop:
+  sb   r8, 100(r4)
+  lb   r9, 100(r4)
+  sh   r8, 200(r4)
+  lh   r10, 200(r4)
+  sw   r8, 300(r4)
+  lw   r11, 300(r4)
+  add  r8, r8, r9
+  add  r8, r8, r10
+  add  r8, r8, r11
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  sd   r8, 0(r4)
+  sd   r9, 8(r4)
+  sd   r10, 16(r4)
+  sd   r11, 24(r4)
+  halt

@@ -1,0 +1,27 @@
+# hifuzz-repro: v1
+# name: nested-loops
+# expect: ok
+# note: two-level loop nest with stores indexed by the inner counter
+
+.data
+buf: .space 4096
+.text
+_start:
+  la   r4, buf
+  li   r9, 0
+  li   r5, 12
+outer:
+  li   r7, 9
+inner:
+  mul  r8, r5, r7
+  add  r9, r9, r8
+  slli r20, r7, 3
+  andi r20, r20, 4088
+  add  r20, r4, r20
+  sd   r9, 0(r20)
+  addi r7, r7, -1
+  bne  r7, r0, inner
+  addi r5, r5, -1
+  bne  r5, r0, outer
+  sd   r9, 0(r4)
+  halt

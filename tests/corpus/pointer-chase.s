@@ -1,0 +1,35 @@
+# hifuzz-repro: v1
+# name: pointer-chase
+# expect: ok
+# note: dependent-load chain through offsets scattered into buf; the
+# note: AP-critical access pattern from the paper's pointer-chase kernels
+
+.data
+buf: .space 4096
+.text
+_start:
+  la   r4, buf
+  li   r7, 63
+init:
+  slli r20, r7, 3
+  add  r20, r4, r20
+  mul  r21, r7, r7
+  addi r21, r21, 5
+  slli r21, r21, 3
+  andi r21, r21, 4088
+  sd   r21, 0(r20)
+  addi r7, r7, -1
+  bne  r7, r0, init
+  li   r5, 40
+  li   r8, 8
+  li   r9, 0
+loop:
+  andi r20, r8, 4088
+  add  r20, r4, r20
+  ld   r8, 0(r20)
+  add  r9, r9, r8
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  sd   r8, 0(r4)
+  sd   r9, 8(r4)
+  halt

@@ -1,0 +1,27 @@
+# hifuzz-repro: v1
+# name: zero-trip-guard
+# expect: ok
+# note: a guarded loop whose body never executes -- the separator must
+# note: not emit queue traffic for a statically present, dynamically dead
+# note: load
+
+.data
+buf: .space 4096
+.text
+_start:
+  la   r4, buf
+  li   r5, 0
+  beq  r5, r0, skip
+loop:
+  ld   r8, 0(r4)
+  add  r9, r9, r8
+  addi r5, r5, -1
+  bne  r5, r0, loop
+skip:
+  li   r6, 5
+loop2:
+  addi r9, r9, 2
+  addi r6, r6, -1
+  bne  r6, r0, loop2
+  sd   r9, 0(r4)
+  halt

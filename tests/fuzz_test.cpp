@@ -1,0 +1,144 @@
+// Tests for the fuzzing subsystem itself: generator determinism and
+// legality, oracle verdicts on clean and fault-injected kernels, the
+// delta-debugging shrinker, and the campaign driver.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "isa/assembler.hpp"
+
+namespace hidisc::fuzz {
+namespace {
+
+TEST(Generator, SameSeedSameKernel) {
+  KernelGen a(42), b(42);
+  EXPECT_EQ(to_source(a.generate_random()), to_source(b.generate_random()));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  KernelGen a(1), b(2);
+  EXPECT_NE(to_source(a.generate_random()), to_source(b.generate_random()));
+}
+
+TEST(Generator, EveryKernelAssembles) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    KernelGen gen(seed);
+    const auto src = to_source(gen.generate_random());
+    EXPECT_NO_THROW((void)isa::assemble(src)) << "seed " << seed;
+  }
+}
+
+TEST(Generator, LegacySignatureMatchesSeedShape) {
+  // The property tests drive the generator through generate(body, iters);
+  // it must stay deterministic and produce a halting, assemblable kernel.
+  KernelGen a(7), b(7);
+  const auto sa = a.generate(16, 10);
+  EXPECT_EQ(sa, b.generate(16, 10));
+  const auto prog = isa::assemble(sa);
+  EXPECT_GT(prog.code.size(), 10u);
+}
+
+TEST(Oracle, CleanKernelsPassAllOracles) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    KernelGen gen(seed);
+    const auto rep = run_oracles(to_source(gen.generate_random()));
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.signature
+                          << " — " << rep.detail;
+    EXPECT_GT(rep.dynamic_instructions, 0u);
+  }
+}
+
+// Every fault kind must be caught by some oracle stage — this is the
+// self-test that the differential pipeline actually has teeth.
+class FaultDetection : public ::testing::TestWithParam<Fault> {};
+
+TEST_P(FaultDetection, InjectedFaultIsCaught) {
+  // A fixed mid-size kernel guarantees queue traffic (injection sites).
+  KernelGen gen(42);
+  GenOptions go;
+  go.body_ops = 24;
+  go.iterations = 50;
+  const auto src = to_source(gen.generate_kernel(go));
+  OracleOptions oo;
+  oo.fault = GetParam();
+  const auto rep = run_oracles(src, oo);
+  ASSERT_TRUE(rep.fault_applied);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_NE(rep.signature, "ok");
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, FaultDetection,
+                         ::testing::Values(Fault::DropPush, Fault::DropPop,
+                                           Fault::MisStream));
+
+TEST(Shrinker, MinimizesInjectedFaultBelowTwentyInstructions) {
+  // The acceptance bar from the issue: an injected separator fault on a
+  // ~100-instruction kernel shrinks to <= 20 instructions.
+  KernelGen gen(5);
+  GenOptions go;
+  go.body_ops = 24;
+  go.iterations = 50;
+  const auto kernel = gen.generate_kernel(go);
+  OracleOptions oo;
+  oo.fault = Fault::DropPush;
+  const auto rep = run_oracles(to_source(kernel), oo);
+  ASSERT_FALSE(rep.ok());
+  const auto before = isa::assemble(to_source(kernel)).code.size();
+  const auto outcome = shrink_kernel(kernel, oo, rep.signature);
+  ASSERT_TRUE(outcome.reproduced);
+  const auto after =
+      isa::assemble(to_source(outcome.kernel)).code.size();
+  EXPECT_LT(after, before);
+  EXPECT_LE(after, 20u);
+  // The shrunk kernel still fails with the same signature.
+  const auto rep2 = run_oracles(to_source(outcome.kernel), oo);
+  EXPECT_EQ(rep2.signature, rep.signature);
+}
+
+TEST(Campaign, SeedDerivationIsStableAndSpread) {
+  // Kernel seeds must be reproducible across runs and not collide for
+  // nearby run indices (splitmix64 output).
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100; ++i) seen.insert(derive_seed(1, i));
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Campaign, ShortFixedSeedRunIsClean) {
+  CampaignOptions co;
+  co.seed = 1;
+  co.runs = 20;
+  const auto res = run_campaign(co);
+  EXPECT_EQ(res.runs_done, 20);
+  EXPECT_TRUE(res.ok()) << res.failures.front().report.signature;
+  EXPECT_GT(res.dynamic_instructions, 0u);
+}
+
+TEST(Campaign, FaultyOracleProducesShrunkFailures) {
+  // With a fault injected into every run the campaign must report it,
+  // deduplicate by signature, and hand back a minimized reproducer.
+  CampaignOptions co;
+  co.seed = 3;
+  co.runs = 6;
+  co.oracle.fault = Fault::DropPush;
+  co.max_distinct_failures = 2;
+  const auto res = run_campaign(co);
+  ASSERT_FALSE(res.ok());
+  for (const auto& f : res.failures) {
+    EXPECT_NE(f.report.signature, "ok");
+    EXPECT_GT(f.minimized_instructions, 0u);
+    EXPECT_LE(f.minimized_instructions, 30u);
+    // Reproducibility: the recorded kernel seed regenerates the failure.
+    KernelGen gen(f.kernel_seed);
+    const auto rep =
+        run_oracles(to_source(gen.generate_random(co.limits)), co.oracle);
+    EXPECT_EQ(rep.signature, f.report.signature);
+  }
+}
+
+}  // namespace
+}  // namespace hidisc::fuzz

@@ -9,9 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
-#include <sstream>
 
 #include "compiler/compile.hpp"
+#include "fuzz/generator.hpp"
 #include "isa/assembler.hpp"
 #include "isa/disassembler.hpp"
 #include "machine/machine.hpp"
@@ -22,69 +22,12 @@ namespace {
 
 using isa::Opcode;
 
-// ---- random structured kernels -------------------------------------------
-
-// Emits one random loop-body operation using a constrained register pool so
-// the program is always well defined (no divides by arbitrary values, no
-// indirect jumps).
-class KernelGen {
- public:
-  explicit KernelGen(std::uint64_t seed) : gen_(seed) {}
-
-  std::string generate(int body_ops, int iterations) {
-    std::ostringstream src;
-    src << ".data\nbuf: .space 4096\nseeds: .double 1.5, -2.25, 0.75, 3.0\n"
-        << ".text\n_start:\n"
-        << "  la  r4, buf\n"
-        << "  li  r5, " << iterations << "\n"
-        << "  la  r6, seeds\n"
-        << "  fld f1, 0(r6)\n  fld f2, 8(r6)\n"
-        << "  fld f3, 16(r6)\n  fld f4, 24(r6)\n"
-        << "  li  r8, 3\n  li r9, -7\n  li r10, 11\n  li r11, 100\n"
-        << "loop:\n";
-    for (int i = 0; i < body_ops; ++i) src << "  " << random_op() << "\n";
-    src << "  addi r5, r5, -1\n"
-        << "  bne  r5, r0, loop\n";
-    // Persist every pool register so no computation is dead.
-    for (int r = 8; r <= 15; ++r)
-      src << "  sd   r" << r << ", " << (r - 8) * 8 << "(r4)\n";
-    for (int f = 1; f <= 8; ++f)
-      src << "  fsd  f" << f << ", " << (56 + f * 8) << "(r4)\n";
-    src << "  halt\n";
-    return src.str();
-  }
-
- private:
-  int pick(int lo, int hi) {
-    return std::uniform_int_distribution<int>(lo, hi)(gen_);
-  }
-  std::string ir() { return "r" + std::to_string(pick(8, 15)); }
-  std::string fr() { return "f" + std::to_string(pick(1, 8)); }
-  std::string off() { return std::to_string(pick(0, 511) * 8); }
-
-  std::string random_op() {
-    switch (pick(0, 11)) {
-      case 0: return "add  " + ir() + ", " + ir() + ", " + ir();
-      case 1: return "sub  " + ir() + ", " + ir() + ", " + ir();
-      case 2: return "mul  " + ir() + ", " + ir() + ", " + ir();
-      case 3: return "xor  " + ir() + ", " + ir() + ", " + ir();
-      case 4:
-        return "addi " + ir() + ", " + ir() + ", " +
-               std::to_string(pick(-64, 64));
-      case 5:
-        return "slli " + ir() + ", " + ir() + ", " +
-               std::to_string(pick(0, 7));
-      case 6: return "fadd " + fr() + ", " + fr() + ", " + fr();
-      case 7: return "fmul " + fr() + ", " + fr() + ", " + fr();
-      case 8: return "ld   " + ir() + ", " + off() + "(r4)";
-      case 9: return "sd   " + ir() + ", " + off() + "(r4)";
-      case 10: return "fld  " + fr() + ", " + off() + "(r4)";
-      default: return "fsd  " + fr() + ", " + off() + "(r4)";
-    }
-  }
-
-  std::mt19937_64 gen_;
-};
+// Random structured kernels come from the shared src/fuzz generator (the
+// same one hifuzz drives); `generate` draws a per-seed feature mix, so
+// these properties cover pointer chases, cross-stream flows, nested
+// loops, divides and mixed-width memory — not just the flat op soup the
+// tests originally embedded.
+using fuzz::KernelGen;
 
 class RandomKernel : public ::testing::TestWithParam<int> {};
 

@@ -2,6 +2,8 @@
 // clean; hand-crafted protocol violations must each be caught.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "compiler/compile.hpp"
 #include "compiler/verify.hpp"
 #include "isa/assembler.hpp"
@@ -102,8 +104,10 @@ TEST(Verify, PopBeforePushIsFlagged) {
   EXPECT_TRUE(found);
 }
 
-TEST(Verify, UnboundedQueueGrowthIsFlagged) {
-  // A loop that pushes every lap and never pops.
+TEST(Verify, CountedBatchPastCapacityIsFlagged) {
+  // 100 pushes with no pops: a bounded batch, but past the 32-entry queue
+  // capacity the in-order front end deadlocks (see the decoupled machine
+  // test SequentialBatchBeyondQueueCapacityDeadlocks).
   auto prog = isa::assemble(R"(
 .text
 _start:
@@ -119,8 +123,97 @@ loop:
   ASSERT_FALSE(v.ok());
   bool found = false;
   for (const auto& s : v.violations)
+    found |= s.find("exceeds the 32-entry queue capacity") !=
+             std::string::npos;
+  EXPECT_TRUE(found) << v.violations.front();
+}
+
+TEST(Verify, CountedBatchWithinCapacityPasses) {
+  // A 20-entry batch fits the queue; the counted-loop refinement must
+  // track the exact trip count instead of widening to infinity.
+  auto prog = isa::assemble(R"(
+.text
+_start:
+  li r5, 20
+loop:
+  pushldq r5
+  addi r5, r5, -1
+  bne r5, r0, loop
+  li r6, 20
+drain:
+  popldq r7
+  addi r6, r6, -1
+  bne r6, r0, drain
+  halt
+)");
+  for (auto& inst : prog.code) inst.ann.stream = Stream::Access;
+  for (auto& inst : prog.code)
+    if (inst.op == isa::Opcode::POPLDQ) inst.ann.stream = Stream::Compute;
+  const auto v = verify_separation(prog);
+  EXPECT_TRUE(v.ok()) << (v.violations.empty() ? "" : v.violations.front());
+}
+
+TEST(Verify, UnboundedQueueGrowthIsFlagged) {
+  // The loop branches on a register with no statically known trip count,
+  // so the occupancy widens to infinity.
+  auto prog = isa::assemble(R"(
+.text
+_start:
+  li r5, 100
+loop:
+  pushldq r5
+  addi r5, r5, -1
+  bne r6, r0, loop
+  halt
+)");
+  for (auto& inst : prog.code) inst.ann.stream = Stream::Access;
+  const auto v = verify_separation(prog);
+  ASSERT_FALSE(v.ok());
+  bool found = false;
+  for (const auto& s : v.violations)
     found |= s.find("grows without bound") != std::string::npos;
-  EXPECT_TRUE(found);
+  EXPECT_TRUE(found) << v.violations.front();
+}
+
+TEST(Verify, EodGuardedConsumerLoopVerifies) {
+  // The paper's Figure-3 protocol: AP pushes a batch and EOD, CP pops in
+  // a loop closed by BEOD.  Statically a lap of that loop pops more than
+  // it pushes; dynamically the EOD token bounds it, so the verifier must
+  // accept what the machines run cleanly (the verify/machine agreement
+  // contract checked by the fuzz oracle).
+  auto prog = isa::assemble(R"(
+.data
+vals: .space 800
+.text
+_start:
+  la   r4, vals
+  li   r5, 20
+loop:
+  ld   r6, 0(r4)
+  pushldq r6
+  addi r4, r4, 8
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  puteod
+cp_entry:
+  popldq r8
+  add  r9, r9, r8
+  beod done
+  j    cp_entry
+done:
+  pushsdq r9
+  popsdq r10
+  sd   r10, 0(r4)
+  halt
+)");
+  std::vector<Stream> tags(prog.code.size(), Stream::Access);
+  const auto cp_entry = prog.code_index("cp_entry");
+  const auto done = prog.code_index("done");
+  for (std::int32_t i = cp_entry; i <= done; ++i) tags[i] = Stream::Compute;
+  for (std::size_t i = 0; i < prog.code.size(); ++i)
+    prog.code[i].ann.stream = tags[i];
+  const auto v = verify_separation(prog);
+  EXPECT_TRUE(v.ok()) << (v.violations.empty() ? "" : v.violations.front());
 }
 
 TEST(Verify, BalancedLoopPassesBalanceAnalysis) {
