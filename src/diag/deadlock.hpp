@@ -1,0 +1,152 @@
+// Structured deadlock forensics for the timing machines.
+//
+// When `Machine::run`'s watchdog fires it no longer throws a bare string:
+// it assembles a `DeadlockReport` — queue occupancies and head-ready
+// times for the LDQ/SDQ/SCQ, per-core window/input occupancy with the
+// oldest stalled op and its stall reason, the front end's position, and
+// the tail of the flight recorder — classifies the root cause, and
+// throws it as a typed `DeadlockError`.  The report serializes to JSON
+// (machine triage: CI artifacts, hilab cell diagnostics) and to
+// human-readable text (`hisa sim` prints it on stderr).
+//
+// The report is plain data: building it is the machine's job
+// (machine/machine.cpp), consuming it needs nothing but this header.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "diag/flight_recorder.hpp"
+
+namespace hidisc::diag {
+
+// Root-cause classes, in the order classify() tests them.
+enum class DeadlockCause : std::uint8_t {
+  QueueFullCycle,        // a full architectural queue wedges its producer
+  EodMismatch,           // BEOD waits for an EOD token that never comes
+  CrossStreamImbalance,  // a consumer pops more than its producer pushed
+  NoPendingEvent,        // wedged with no stalled op and no timed event
+  Unknown,
+};
+
+[[nodiscard]] constexpr const char* cause_name(DeadlockCause c) noexcept {
+  switch (c) {
+    case DeadlockCause::QueueFullCycle: return "queue-full-cycle";
+    case DeadlockCause::EodMismatch: return "eod-mismatch";
+    case DeadlockCause::CrossStreamImbalance:
+      return "cross-stream-imbalance";
+    case DeadlockCause::NoPendingEvent: return "no-pending-event";
+    case DeadlockCause::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+// Why a core's oldest in-flight op cannot move.  Mirrors the issue gates
+// of uarch::OoOCore (core.cpp do_issue / do_commit).
+enum class StallWhy : std::uint8_t {
+  None,          // core drained, or nothing blocking (should not deadlock)
+  InFlight,      // oldest op issued, completion still pending (timed)
+  PopEmpty,      // needs a queue pop; the queue is empty
+  PopNotReady,   // queue has data whose ready time is in the future (timed)
+  PushFull,      // completed, but its queue write finds the queue full
+  Sources,       // register producer in-window has not completed
+  FuBusy,        // ready, but no functional unit / memory port
+  MemDisambig,   // load waiting on an older overlapping store
+  Dispatch,      // stuck moving input queue -> window
+};
+
+[[nodiscard]] constexpr const char* stall_why_name(StallWhy w) noexcept {
+  switch (w) {
+    case StallWhy::None: return "none";
+    case StallWhy::InFlight: return "in-flight";
+    case StallWhy::PopEmpty: return "pop-empty";
+    case StallWhy::PopNotReady: return "pop-not-ready";
+    case StallWhy::PushFull: return "push-full";
+    case StallWhy::Sources: return "sources";
+    case StallWhy::FuBusy: return "fu-busy";
+    case StallWhy::MemDisambig: return "mem-disambig";
+    case StallWhy::Dispatch: return "dispatch";
+  }
+  return "?";
+}
+
+struct QueueSnapshot {
+  std::string name;  // "LDQ" / "SDQ" / "SCQ"
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  bool has_head = false;
+  std::uint64_t head_ready = 0;    // cycle the head becomes consumable
+  std::int64_t head_producer = -1; // trace position of the head's producer
+  bool head_eod = false;
+};
+
+struct CoreSnapshot {
+  std::string name;  // "SS" / "CP" / "AP" / "CMP"
+  bool drained = false;
+  std::size_t window = 0;
+  std::size_t window_capacity = 0;
+  std::size_t input = 0;
+  std::size_t input_capacity = 0;
+  // The oldest op that cannot move, when one exists.
+  bool has_stall = false;
+  StallWhy why = StallWhy::None;
+  std::string op;             // mnemonic of the stalled op
+  std::int32_t static_idx = -1;
+  std::int64_t trace_pos = -1;
+  std::string queue;          // queue involved in a pop/push stall, if any
+};
+
+struct DeadlockReport {
+  std::string preset;
+  std::string scheduler;            // "EventSkip" / "Lockstep"
+  std::uint64_t now = 0;
+  std::uint64_t last_progress_cycle = 0;
+  std::uint64_t watchdog_cycles = 0;
+  bool no_pending_event = false;    // detected via an empty event set
+  // Front end / separator position.
+  std::uint64_t fetch_pos = 0;
+  std::uint64_t trace_size = 0;
+  bool fetch_blocked = false;
+  std::int64_t pending_branch_pos = -1;
+  std::size_t cmp_contexts_active = 0;
+
+  std::vector<QueueSnapshot> queues;  // LDQ, SDQ, SCQ in that order
+  std::vector<CoreSnapshot> cores;    // present cores only
+
+  DeadlockCause cause = DeadlockCause::Unknown;
+  std::string cause_detail;           // one sentence of evidence
+
+  std::vector<StepRecord> recent;     // flight-recorder tail, oldest first
+
+  // One line: "machine deadlock: no progress since cycle N (preset ...,
+  // fetched F/T): <cause> — <detail>".  Used as the DeadlockError message.
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+};
+
+// Inspects the snapshots, sets `cause` + `cause_detail`, and returns the
+// cause.  Non-Unknown for every protocol-level deadlock the fuzzer can
+// produce (queue overflow, dropped pushes/pops, missing EOD tokens).
+DeadlockCause classify(DeadlockReport& rep);
+
+// Typed watchdog abort.  Derives from std::runtime_error so every
+// pre-existing `catch (const std::exception&)` / EXPECT_THROW keeps
+// working; new code catches DeadlockError to reach the report.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(DeadlockReport rep)
+      : std::runtime_error(rep.summary()), rep_(std::move(rep)) {}
+  [[nodiscard]] const DeadlockReport& report() const noexcept {
+    return rep_;
+  }
+
+ private:
+  DeadlockReport rep_;
+};
+
+}  // namespace hidisc::diag

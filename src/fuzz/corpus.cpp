@@ -45,6 +45,13 @@ Repro load_repro(const std::filesystem::path& file) {
         else if (key == "seed") r.seed = std::stoull(value);
         else if (key == "expect") r.expect = value;
         else if (key == "streams") r.streams = value;
+        else if (key == "inject") {
+          const auto f = parse_fault(value);
+          if (!f)
+            throw std::runtime_error("unknown inject fault '" + value +
+                                     "' in " + file.string());
+          r.inject = *f;
+        }
         else if (key == "note") r.note = value;
         // Unknown keys (e.g. the "hifuzz-repro v1" banner) are ignored.
         continue;
@@ -71,6 +78,8 @@ void write_repro(const std::filesystem::path& file, const Repro& r) {
   if (r.seed) out << "# seed: " << r.seed << "\n";
   out << "# expect: " << r.expect << "\n";
   if (!r.streams.empty()) out << "# streams: " << r.streams << "\n";
+  if (r.inject != Fault::None)
+    out << "# inject: " << fault_name(r.inject) << "\n";
   if (!r.note.empty()) out << "# note: " << r.note << "\n";
   out << "\n" << r.source;
   if (!r.source.empty() && r.source.back() != '\n') out << "\n";
@@ -91,9 +100,11 @@ std::vector<Repro> load_corpus(const std::filesystem::path& dir) {
 }
 
 OracleReport replay(const Repro& r, const OracleOptions& opt) {
+  OracleOptions o = opt;
+  if (r.inject != Fault::None) o.fault = r.inject;
   if (!r.streams.empty())
-    return run_decoupled_oracles(r.source, r.streams, opt);
-  return run_oracles(r.source, opt);
+    return run_decoupled_oracles(r.source, r.streams, o);
+  return run_oracles(r.source, o);
 }
 
 }  // namespace hidisc::fuzz

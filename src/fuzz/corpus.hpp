@@ -9,6 +9,7 @@
 //   # seed: 140737425802
 //   # expect: ok
 //   # streams: AACCA...        (optional: hand-decoupled entry)
+//   # inject: drop-push        (optional: fault applied during replay)
 //   # note: free text
 //   .data
 //   ...
@@ -32,6 +33,7 @@ struct Repro {
   std::uint64_t seed = 0;           // 0 = hand-written
   std::string expect = "ok";        // oracle signature replay must match
   std::string streams;              // non-empty: decoupled replay mode
+  Fault inject = Fault::None;       // fault applied during replay
   std::string note;
   std::string source;               // assembly text (no metadata lines)
   std::filesystem::path path;       // origin, when loaded from disk

@@ -6,6 +6,7 @@
 
 #include "compiler/compile.hpp"
 #include "compiler/verify.hpp"
+#include "diag/deadlock.hpp"
 #include "isa/assembler.hpp"
 #include "machine/machine.hpp"
 #include "sim/functional.hpp"
@@ -86,6 +87,7 @@ bool apply_fault(isa::Program& p, Fault fault) {
 struct MachineVerdict {
   bool deadlock = false;
   std::string deadlock_preset;
+  std::string deadlock_cause;  // classified root cause (diag::cause_name)
   std::string deadlock_detail;
   Stage stage = Stage::Ok;  // first non-deadlock machine failure
   std::string signature;
@@ -110,6 +112,12 @@ void check_preset(MachineVerdict& v, const isa::Program& bin,
     es = machine::run_machine(bin, tr, preset, cfg);
     cfg.scheduler = machine::SchedulerKind::Lockstep;
     ls = machine::run_machine(bin, tr, preset, cfg);
+  } catch (const diag::DeadlockError& e) {
+    v.deadlock = true;
+    v.deadlock_preset = name;
+    v.deadlock_cause = diag::cause_name(e.report().cause);
+    v.deadlock_detail = e.what();
+    return;
   } catch (const std::exception& e) {
     v.deadlock = true;
     v.deadlock_preset = name;
@@ -159,6 +167,15 @@ void check_preset(MachineVerdict& v, const isa::Program& bin,
   }
 }
 
+// Dedup key for a deadlock find: preset plus the classified root cause, so
+// e.g. a dropped push (cross-stream imbalance) and a queue overflow on the
+// same preset shrink and dedupe as distinct bugs.
+std::string deadlock_signature(const MachineVerdict& mv) {
+  std::string sig = "gap:verify-ok-deadlock:" + mv.deadlock_preset;
+  if (!mv.deadlock_cause.empty()) sig += ":" + mv.deadlock_cause;
+  return sig;
+}
+
 std::string first_violations(const compiler::VerifyResult& vr, std::size_t n) {
   std::ostringstream os;
   for (std::size_t i = 0; i < vr.violations.size() && i < n; ++i) {
@@ -171,6 +188,24 @@ std::string first_violations(const compiler::VerifyResult& vr, std::size_t n) {
 }
 
 }  // namespace
+
+const char* fault_name(Fault f) noexcept {
+  switch (f) {
+    case Fault::None: return "none";
+    case Fault::DropPush: return "drop-push";
+    case Fault::DropPop: return "drop-pop";
+    case Fault::MisStream: return "mis-stream";
+  }
+  return "?";
+}
+
+std::optional<Fault> parse_fault(std::string_view name) {
+  if (name == "none") return Fault::None;
+  if (name == "drop-push") return Fault::DropPush;
+  if (name == "drop-pop") return Fault::DropPop;
+  if (name == "mis-stream") return Fault::MisStream;
+  return std::nullopt;
+}
 
 const char* stage_name(Stage s) noexcept {
   switch (s) {
@@ -290,7 +325,7 @@ OracleReport run_oracles(const std::string& source, const OracleOptions& opt) {
                 "original");
   if (mv.deadlock)
     return fail(rep, Stage::VerifyMachineGap,
-                "gap:verify-ok-deadlock:" + mv.deadlock_preset,
+                deadlock_signature(mv),
                 "verifier accepted the binary but " + mv.deadlock_preset +
                     " deadlocked: " + mv.deadlock_detail);
   if (mv.stage != Stage::Ok) return fail(rep, mv.stage, mv.signature, mv.detail);
@@ -405,7 +440,7 @@ OracleReport run_decoupled_oracles(const std::string& source,
     return fail(rep, Stage::FunctionalOriginal, "functional-original", func_err);
   if (mv.deadlock)
     return fail(rep, Stage::VerifyMachineGap,
-                "gap:verify-ok-deadlock:" + mv.deadlock_preset,
+                deadlock_signature(mv),
                 "verifier accepted the binary but " + mv.deadlock_preset +
                     " deadlocked: " + mv.deadlock_detail);
   if (mv.stage != Stage::Ok) return fail(rep, mv.stage, mv.signature, mv.detail);

@@ -31,7 +31,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace hidisc::fuzz {
 
@@ -41,6 +43,13 @@ enum class Fault : std::uint8_t {
   DropPop,    // delete the first compiler-inserted queue pop
   MisStream,  // move a queue-pushing ALU op to the wrong stream
 };
+
+// CLI / corpus-header spelling ("none", "drop-push", "drop-pop",
+// "mis-stream") and its inverse.  Shared by hifuzz's --inject flag and the
+// corpus `# inject:` header so a shrunk deadlock reproducer replays with
+// the same fault applied.
+[[nodiscard]] const char* fault_name(Fault f) noexcept;
+[[nodiscard]] std::optional<Fault> parse_fault(std::string_view name);
 
 enum class Stage : std::uint8_t {
   Ok,

@@ -25,6 +25,18 @@ void append_result_object(std::ostringstream& out,
   out << '}';
 }
 
+// Minimal CSV quoting for free-text columns (error messages may contain
+// commas and quotes).
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
@@ -39,6 +51,7 @@ std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
       << ",\n"
       << "  \"simulated\": " << run.simulated << ",\n"
       << "  \"cache_hits\": " << run.cache_hits << ",\n"
+      << "  \"failed\": " << run.failed << ",\n"
       << "  \"cells\": [\n";
   for (std::size_t i = 0; i < plan.cells.size(); ++i) {
     const Cell& c = plan.cells[i];
@@ -52,8 +65,19 @@ std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
         << ", \"sim_cycles_per_sec\": "
         << format_double(r.sim_cycles_per_sec)
         << ", \"orig_dynamic_instructions\": "
-        << r.orig_dynamic_instructions << ", \"result\": ";
-    append_result_object(out, r.result);
+        << r.orig_dynamic_instructions
+        << ", \"ok\": " << (r.ok() ? "true" : "false");
+    if (r.ok()) {
+      out << ", \"result\": ";
+      append_result_object(out, r.result);
+    } else {
+      // Failed cell: the attached diagnostics travel with the export, the
+      // meaningless Result does not.
+      out << ", \"error\": \"" << json_escape(r.error)
+          << "\", \"error_class\": \"" << json_escape(r.error_class)
+          << "\", \"diagnostic\": "
+          << (r.diagnostic_json.empty() ? "null" : r.diagnostic_json);
+    }
     out << '}' << (i + 1 < plan.cells.size() ? "," : "") << '\n';
   }
   out << "  ]\n}\n";
@@ -62,18 +86,19 @@ std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
 
 std::string to_csv(const ExperimentPlan& plan, const PlanRun& run) {
   std::ostringstream out;
-  out << "workload,preset,tag,cached,cycles,instructions,ipc,l1_miss_rate,"
-         "l1_demand_misses,l2_demand_misses,branch_mispredict_rate,"
-         "cmas_forks,wall_ms\n";
+  out << "workload,preset,tag,cached,ok,error_class,cycles,instructions,ipc,"
+         "l1_miss_rate,l1_demand_misses,l2_demand_misses,"
+         "branch_mispredict_rate,cmas_forks,wall_ms,error\n";
   for (std::size_t i = 0; i < plan.cells.size(); ++i) {
     const Cell& c = plan.cells[i];
     const CellResult& r = run.cells[i];
     char line[512];
     std::snprintf(line, sizeof line,
-                  "%s,%s,%s,%d,%llu,%llu,%.6f,%.6f,%llu,%llu,%.6f,%llu,"
-                  "%.3f\n",
+                  "%s,%s,%s,%d,%d,%s,%llu,%llu,%.6f,%.6f,%llu,%llu,%.6f,"
+                  "%llu,%.3f,",
                   c.workload.name.c_str(), machine::preset_name(c.preset),
-                  c.tag.c_str(), r.from_cache ? 1 : 0,
+                  c.tag.c_str(), r.from_cache ? 1 : 0, r.ok() ? 1 : 0,
+                  r.error_class.c_str(),
                   static_cast<unsigned long long>(r.result.cycles),
                   static_cast<unsigned long long>(r.result.instructions),
                   r.result.ipc, r.result.l1.demand_miss_rate(),
@@ -83,6 +108,8 @@ std::string to_csv(const ExperimentPlan& plan, const PlanRun& run) {
                   static_cast<unsigned long long>(r.result.cmas_forks),
                   r.wall_ms);
     out << line;
+    if (!r.ok()) out << csv_quote(r.error);
+    out << '\n';
   }
   return out.str();
 }

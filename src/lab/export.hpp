@@ -20,9 +20,11 @@ struct ExportMeta {
                                   const PlanRun& run,
                                   const ExportMeta& meta = {});
 
-// Columns: workload,preset,tag,cached,cycles,instructions,ipc,
-//          l1_miss_rate,l1_demand_misses,l2_demand_misses,
-//          branch_mispredict_rate,cmas_forks,wall_ms
+// Columns: workload,preset,tag,cached,ok,error_class,cycles,instructions,
+//          ipc,l1_miss_rate,l1_demand_misses,l2_demand_misses,
+//          branch_mispredict_rate,cmas_forks,wall_ms,error
+// Failed cells have ok=0, a non-empty error_class, zeroed numbers, and
+// the quoted error message in the trailing column.
 [[nodiscard]] std::string to_csv(const ExperimentPlan& plan,
                                  const PlanRun& run);
 

@@ -15,8 +15,18 @@ namespace fs = std::filesystem;
 namespace hidisc::lab {
 
 namespace {
-constexpr const char* kHeader = "hilab-result v1";
+
+constexpr const char* kHeader = "hilab-result v2";
+constexpr const char* kChecksumTag = "checksum ";
+
+std::string checksum_line(const std::string& body) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%016llx", kChecksumTag,
+                static_cast<unsigned long long>(fnv1a64(body)));
+  return buf;
 }
+
+}  // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
@@ -29,17 +39,38 @@ std::string ResultCache::path_for(const std::string& key) const {
   return (fs::path(dir_) / (key + ".result")).string();
 }
 
+void ResultCache::quarantine(const std::string& path) const {
+  std::error_code ec;
+  fs::rename(path, path + ".corrupt", ec);  // best-effort
+}
+
 std::optional<CacheEntry> ResultCache::load(const std::string& key) const {
-  std::ifstream in(path_for(key));
+  const std::string path = path_for(key);
+  std::ifstream in(path);
   if (!in) return std::nullopt;
   std::string line;
+  // A wrong header is a stale or foreign format, not corruption: report a
+  // miss and leave the file to be overwritten by the next store.
   if (!std::getline(in, line) || line != kHeader) return std::nullopt;
 
+  // Everything from the header to the checksum line is covered by the
+  // footer; a file that lacks the footer entirely is torn.
+  std::string body = line + "\n";
   std::map<std::string, std::string> fields;
   CacheEntry entry;
+  bool checksum_ok = false;
   while (std::getline(in, line)) {
+    if (line.rfind(kChecksumTag, 0) == 0) {
+      checksum_ok = line == checksum_line(body);
+      break;
+    }
+    body += line;
+    body += '\n';
     const auto space = line.find(' ');
-    if (space == std::string::npos) return std::nullopt;  // torn file
+    if (space == std::string::npos) {  // torn line
+      quarantine(path);
+      return std::nullopt;
+    }
     const std::string name = line.substr(0, space);
     const std::string value = line.substr(space + 1);
     if (name == "meta.workload")
@@ -51,7 +82,16 @@ std::optional<CacheEntry> ResultCache::load(const std::string& key) const {
     else
       fields[name] = value;
   }
-  entry.result = result_from_fields(fields);
+  if (!checksum_ok) {
+    quarantine(path);
+    return std::nullopt;
+  }
+  std::string missing;
+  entry.result = result_from_fields(fields, &missing);
+  if (!missing.empty()) {  // line-aligned truncation or field drift
+    quarantine(path);
+    return std::nullopt;
+  }
   return entry;
 }
 
@@ -64,6 +104,7 @@ bool ResultCache::store(const std::string& key,
        << "meta.orig_dyn_insts " << entry.orig_dynamic_instructions << '\n';
   for (const auto& [name, value] : result_to_fields(entry.result))
     body << name << ' ' << value << '\n';
+  body << checksum_line(body.str()) << '\n';
 
   // Unique temp name per writer, then atomic rename into place.
   std::ostringstream tid;

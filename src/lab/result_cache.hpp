@@ -3,18 +3,24 @@
 // directory:
 //
 //   <dir>/<32-hex key>.result
-//     hilab-result v1
+//     hilab-result v2
 //     meta.workload <display name>
 //     meta.preset <preset name>
 //     meta.orig_dyn_insts <count>
 //     cycles 123456
 //     ipc 2.3409...
 //     ... (every visit_result_fields name, one per line)
+//     checksum <16-hex FNV-1a-64 of everything above>
 //
 // Writes go through a per-process temp file + atomic rename, so parallel
 // runners (threads or separate processes) sharing a directory never
-// observe a torn entry.  A malformed or truncated file is treated as a
+// observe a torn entry.  Loads validate three layers: the checksum footer
+// (bit rot, torn writes), line shape, and required-field completeness (a
+// line-aligned truncation must not decode as a silently-zeroed Result).
+// Any failure quarantines the file to `<name>.corrupt` and reports a
 // miss, never an error: the cache is an accelerator, not a dependency.
+// Entries with an older version header are plain misses (stale format,
+// not corruption) and are left in place to be overwritten.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +54,10 @@ class ResultCache {
 
  private:
   [[nodiscard]] std::string path_for(const std::string& key) const;
+  // Moves a failed-validation entry aside to `<path>.corrupt`
+  // (best-effort) so it stops being retried and stays available for
+  // forensics.
+  void quarantine(const std::string& path) const;
 
   std::string dir_;
 };

@@ -7,6 +7,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "diag/deadlock.hpp"
 #include "lab/fingerprint.hpp"
 #include "lab/result_cache.hpp"
 #include "lab/thread_pool.hpp"
@@ -46,7 +47,6 @@ struct CellState {
   const Cell* cell = nullptr;
   Prep* prep = nullptr;
   CellResult out;
-  std::optional<std::string> error;
 };
 
 }  // namespace
@@ -110,13 +110,19 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
   }
   pool.wait();
   run.preps = preps.size();
-  for (const auto& [key, prep] : preps)
-    if (prep.error)
-      throw std::runtime_error("hilab prep " + prep.spec.name +
-                               " failed: " + *prep.error);
+  // A failed prep poisons exactly the cells that reference it; everything
+  // else proceeds.
+  for (auto& cs : cells)
+    if (cs.prep->error) {
+      cs.out.error =
+          "prep " + cs.prep->spec.name + " failed: " + *cs.prep->error;
+      cs.out.error_class = "prep";
+      report(*cs.cell, /*from_cache=*/false);
+    }
 
   // Wave 2: content keys + cache probes (cheap; hashing only).
   for (auto& cs : cells) {
+    if (!cs.out.ok()) continue;
     pool.submit([&cs, &cache, &opt, &report] {
       const Cell& c = *cs.cell;
       const bool sep = machine::uses_separated_binary(c.preset);
@@ -139,7 +145,7 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
 
   // Wave 3: functionally trace only the binaries miss cells will run.
   for (const auto& cs : cells)
-    if (!cs.out.from_cache) {
+    if (!cs.out.from_cache && cs.out.ok()) {
       if (machine::uses_separated_binary(cs.cell->preset))
         cs.prep->need_sep = true;
       else
@@ -171,15 +177,21 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
     }
   }
   pool.wait();
-  for (const auto& [key, prep] : preps)
-    for (const auto* err : {&prep.error_orig, &prep.error_sep})
-      if (*err)
-        throw std::runtime_error("hilab trace " + prep.spec.name +
-                                 " failed: " + **err);
+  // A failed trace poisons the cells that would have consumed it.
+  for (auto& cs : cells) {
+    if (cs.out.from_cache || !cs.out.ok()) continue;
+    const bool sep = machine::uses_separated_binary(cs.cell->preset);
+    const auto& err = sep ? cs.prep->error_sep : cs.prep->error_orig;
+    if (err) {
+      cs.out.error = "trace " + cs.prep->spec.name + " failed: " + *err;
+      cs.out.error_class = "trace";
+      report(*cs.cell, /*from_cache=*/false);
+    }
+  }
 
   // Wave 4: simulate the misses; persist each result as it lands.
   for (auto& cs : cells) {
-    if (cs.out.from_cache) continue;
+    if (cs.out.from_cache || !cs.out.ok()) continue;
     pool.submit([&cs, &cache, &report] {
       const Cell& c = *cs.cell;
       const bool sep = machine::uses_separated_binary(c.preset);
@@ -189,8 +201,17 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
             sep ? cs.prep->comp.separated : cs.prep->comp.original,
             sep ? cs.prep->sep_trace : cs.prep->orig_trace, c.preset,
             c.config);
+      } catch (const diag::DeadlockError& e) {
+        cs.out.error = e.what();
+        cs.out.error_class =
+            std::string("deadlock:") + diag::cause_name(e.report().cause);
+        cs.out.diagnostic_json = e.report().to_json();
+        report(c, /*from_cache=*/false);
+        return;
       } catch (const std::exception& e) {
-        cs.error = e.what();
+        cs.out.error = e.what();
+        cs.out.error_class = "sim";
+        report(c, /*from_cache=*/false);
         return;
       }
       cs.out.wall_ms = ms_since(cell_start);
@@ -209,10 +230,10 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
   pool.wait();
 
   for (auto& cs : cells) {
-    if (cs.error)
-      throw std::runtime_error("hilab cell " + cs.cell->workload.name + "/" +
-                               machine::preset_name(cs.cell->preset) +
-                               " failed: " + *cs.error);
+    if (!cs.out.ok()) {
+      ++run.failed;
+      continue;
+    }
     run.cache_hits += cs.out.from_cache ? 1 : 0;
     run.simulated += cs.out.from_cache ? 0 : 1;
   }
@@ -220,7 +241,7 @@ PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
     double sim_ms = 0.0;
     std::uint64_t sim_cycles = 0;
     for (const auto& cs : cells) {
-      if (cs.out.from_cache) continue;
+      if (cs.out.from_cache || !cs.out.ok()) continue;
       sim_ms += cs.out.wall_ms;
       sim_cycles += cs.out.result.cycles;
     }

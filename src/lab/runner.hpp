@@ -56,11 +56,20 @@ struct CellResult {
   // second (the number the event-skip scheduler exists to raise); 0 for
   // cache hits.
   double sim_cycles_per_sec = 0.0;
+
+  // Fault isolation: non-empty `error` marks this cell failed (its
+  // `result` is meaningless) without poisoning the rest of the run.
+  std::string error;            // human-readable failure message
+  std::string error_class;      // "prep" / "trace" / "sim" / "deadlock:<cause>"
+  std::string diagnostic_json;  // attached DeadlockReport, when one exists
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
 
 struct PlanRun {
   std::vector<CellResult> cells;  // parallel to plan.cells
   std::size_t simulated = 0;      // cells that ran the timing machine
+  std::size_t failed = 0;         // cells with a non-empty error slot
   std::size_t cache_hits = 0;
   std::size_t preps = 0;  // distinct compilations performed
   std::size_t traces = 0; // functional traces recorded
@@ -70,14 +79,19 @@ struct PlanRun {
   // timing machine this run (0 when everything came from cache).
   double sim_cycles_per_sec = 0.0;
 
+  [[nodiscard]] bool ok() const noexcept { return failed == 0; }
+
   [[nodiscard]] const CellResult& at(const ExperimentPlan& plan,
                                      const std::string& workload,
                                      machine::Preset preset,
                                      const std::string& tag = "") const;
 };
 
-// Runs every cell of `plan`; throws std::runtime_error when a cell's
-// simulation throws (the first error, after all workers drain).
+// Runs every cell of `plan`.  A cell whose prep, trace or simulation
+// fails carries the failure in its error slots (error / error_class /
+// diagnostic_json) instead of aborting the run: healthy cells complete and
+// export normally.  Only infrastructure-level problems (bad plan, broken
+// cache directory) still throw.
 [[nodiscard]] PlanRun run_plan(const ExperimentPlan& plan,
                                const RunOptions& opt = {});
 

@@ -41,11 +41,17 @@ std::map<std::string, std::string> result_to_fields(
 }
 
 machine::Result result_from_fields(
-    const std::map<std::string, std::string>& fields) {
+    const std::map<std::string, std::string>& fields, std::string* missing) {
   machine::Result r;
-  visit_result_fields(r, [&fields](const std::string& name, auto& value) {
+  if (missing != nullptr) missing->clear();
+  visit_result_fields(r, [&fields, missing](const std::string& name,
+                                            auto& value) {
     const auto it = fields.find(name);
-    if (it != fields.end()) parse_value(it->second, value);
+    if (it != fields.end()) {
+      parse_value(it->second, value);
+    } else if (missing != nullptr && missing->empty()) {
+      *missing = name;
+    }
   });
   return r;
 }
@@ -54,6 +60,15 @@ bool results_identical(const machine::Result& a, const machine::Result& b) {
   // %.17g round-trips doubles exactly, so textual equality of the field
   // maps is bitwise equality of every stat.
   return result_to_fields(a) == result_to_fields(b);
+}
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 std::string json_escape(const std::string& s) {

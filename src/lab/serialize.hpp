@@ -8,15 +8,19 @@
 //
 // JSON schema (docs/LAB.md documents it for external consumers):
 //   { "plan": str, "description": str, "threads": int, "wall_ms": num,
+//     "failed": int,
 //     "cells": [ { "workload": str, "preset": str, "tag": str,
 //                  "key": str, "cached": bool, "wall_ms": num,
-//                  "orig_dynamic_instructions": int,
-//                  "result": { "<dotted field>": num, ... } } ] }
+//                  "orig_dynamic_instructions": int, "ok": bool,
+//                  "result": { "<dotted field>": num, ... },   // ok cells
+//                  "error": str, "error_class": str,           // failed
+//                  "diagnostic": obj|null } ] }                // cells
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "machine/result.hpp"
@@ -102,9 +106,14 @@ void visit_result_fields(R& r, V&& v) {
 // round-trip is bit-exact (the cache-hit tests rely on it).
 [[nodiscard]] std::map<std::string, std::string> result_to_fields(
     const machine::Result& r);
-// Inverse; unknown names are ignored, absent names keep their defaults.
+// Inverse; unknown names are ignored.  Every visited field is *required*:
+// when `missing` is non-null it receives the first absent field name (or
+// is cleared when the map is complete) — a torn-but-line-aligned cache
+// entry must decode as corrupt, not as a silently-zeroed Result.  Callers
+// passing nullptr accept defaults for absent names (legacy leniency).
 [[nodiscard]] machine::Result result_from_fields(
-    const std::map<std::string, std::string>& fields);
+    const std::map<std::string, std::string>& fields,
+    std::string* missing = nullptr);
 
 // True when every visited field compares equal (doubles bit-for-bit).
 [[nodiscard]] bool results_identical(const machine::Result& a,
@@ -114,5 +123,8 @@ void visit_result_fields(R& r, V&& v) {
 // and the cache.
 [[nodiscard]] std::string json_escape(const std::string& s);
 [[nodiscard]] std::string format_double(double v);
+
+// FNV-1a 64-bit hash; the cache's checksum footer.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept;
 
 }  // namespace hidisc::lab

@@ -140,6 +140,12 @@ struct MachineConfig {
   // multi-thousand-cycle fast-forward never trips it.
   std::uint64_t watchdog_cycles = 1'000'000;
 
+  // Flight-recorder depth: how many recent scheduler transitions the
+  // always-on ring buffer retains for the DeadlockReport (rounded up to a
+  // power of two).  Recording is one struct store per event step; the
+  // perf-smoke gate verifies the overhead stays inside its band.
+  std::size_t flight_recorder_depth = 64;
+
   // Time-advance strategy; excluded from lab content keys because both
   // schedulers produce bit-identical results.
   SchedulerKind scheduler = SchedulerKind::EventSkip;

@@ -53,7 +53,8 @@ Machine::Machine(const isa::Program& prog, const sim::Trace& trace,
                  cfg.predictor_kind),
       ldq_("LDQ", cfg.ldq_capacity),
       sdq_("SDQ", cfg.sdq_capacity),
-      scq_("SCQ", cfg.scq_capacity) {
+      scq_("SCQ", cfg.scq_capacity),
+      recorder_(cfg.flight_recorder_depth) {
   const OoOCore::Queues queues{&ldq_, &sdq_, &scq_};
   switch (preset_) {
     case Preset::Superscalar:
@@ -451,14 +452,93 @@ void Machine::account_skip(std::uint64_t now, std::uint64_t delta) {
   }
 }
 
+// Samples the machine's observable occupancies into one flight-recorder
+// frame.  Must stay cheap: this runs on every event step.
+diag::StepRecord Machine::make_record(std::uint64_t now, diag::StepKind kind,
+                                      std::uint64_t arg) const {
+  diag::StepRecord r;
+  r.cycle = now;
+  r.kind = kind;
+  r.arg = arg;
+  r.fetch_pos = fetch_pos_;
+  r.ldq = static_cast<std::uint16_t>(ldq_.size());
+  r.sdq = static_cast<std::uint16_t>(sdq_.size());
+  r.scq = static_cast<std::uint16_t>(scq_.size());
+  int i = 0;
+  for (const auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()}) {
+    if (core != nullptr)
+      r.window[i] = static_cast<std::uint16_t>(core->window_occupancy());
+    ++i;
+  }
+  return r;
+}
+
+diag::DeadlockReport Machine::build_deadlock_report(
+    std::uint64_t now, std::uint64_t last_progress_cycle,
+    bool no_pending_event) const {
+  diag::DeadlockReport rep;
+  rep.preset = preset_name(preset_);
+  rep.scheduler = cfg_.scheduler == SchedulerKind::Lockstep ? "Lockstep"
+                                                            : "EventSkip";
+  rep.now = now;
+  rep.last_progress_cycle = last_progress_cycle;
+  rep.watchdog_cycles = cfg_.watchdog_cycles;
+  rep.no_pending_event = no_pending_event;
+  rep.fetch_pos = fetch_pos_;
+  rep.trace_size = trace_.size();
+  rep.fetch_blocked = fetch_blocked_;
+  rep.pending_branch_pos = pending_branch_pos_;
+  for (const auto& ctx : contexts_)
+    if (ctx.active) ++rep.cmp_contexts_active;
+
+  for (const auto* q : {&ldq_, &sdq_, &scq_}) {
+    diag::QueueSnapshot qs;
+    qs.name = q->name();
+    qs.size = q->size();
+    qs.capacity = q->capacity();
+    qs.pushes = q->stats().pushes;
+    qs.pops = q->stats().pops;
+    if (const auto* head = q->head(); head != nullptr) {
+      qs.has_head = true;
+      qs.head_ready = head->ready;
+      qs.head_producer = head->producer_pos;
+      qs.head_eod = head->eod;
+    }
+    rep.queues.push_back(std::move(qs));
+  }
+
+  for (const auto* core : {main_.get(), cp_.get(), ap_.get(), cmp_.get()}) {
+    if (core == nullptr) continue;
+    diag::CoreSnapshot cs;
+    cs.name = core->config().name;
+    cs.drained = core->drained();
+    cs.window = core->window_occupancy();
+    cs.window_capacity = static_cast<std::size_t>(core->config().window);
+    cs.input = core->input_occupancy();
+    cs.input_capacity = static_cast<std::size_t>(core->config().input_queue);
+    const auto probe = core->probe_oldest_stall(now);
+    if (probe.valid) {
+      cs.has_stall = true;
+      cs.why = probe.why;
+      cs.op = probe.op;
+      cs.static_idx = probe.static_idx;
+      cs.trace_pos = probe.trace_pos;
+      if (probe.queue != nullptr) cs.queue = probe.queue->name();
+    }
+    rep.cores.push_back(std::move(cs));
+  }
+
+  rep.recent = recorder_.snapshot();
+  diag::classify(rep);
+  return rep;
+}
+
 void Machine::throw_deadlock(std::uint64_t now,
-                             std::uint64_t last_progress_cycle) const {
-  (void)now;
-  throw std::runtime_error(
-      std::string("machine deadlock: no progress since cycle ") +
-      std::to_string(last_progress_cycle) + " (preset " +
-      preset_name(preset_) + ", fetched " + std::to_string(fetch_pos_) +
-      "/" + std::to_string(trace_.size()) + ")");
+                             std::uint64_t last_progress_cycle,
+                             bool no_pending_event) {
+  recorder_.record(make_record(now, diag::StepKind::Deadlock, 0));
+  throw diag::DeadlockError(
+      build_deadlock_report(now, last_progress_cycle, no_pending_event));
 }
 
 Result Machine::run_scheduler() {
@@ -468,8 +548,16 @@ Result Machine::run_scheduler() {
   std::uint64_t no_progress_steps = 0;
 
   while (!done()) {
+    const bool was_blocked = fetch_blocked_;
     const bool progress = step(now);
     ++sched_.event_steps;
+    recorder_.record(make_record(
+        now, progress ? diag::StepKind::Progress : diag::StepKind::Stall, 0));
+    if (fetch_blocked_ != was_blocked)
+      recorder_.record(make_record(now,
+                                   fetch_blocked_ ? diag::StepKind::FetchBlock
+                                                  : diag::StepKind::FetchResume,
+                                   fetch_pos_));
 
     if (progress) {
       last_progress_cycle = now;
@@ -486,13 +574,15 @@ Result Machine::run_scheduler() {
       // No self-scheduled event anywhere and no progress: the state can
       // never change again.  Lockstep would spin the watchdog out; report
       // the same deadlock immediately.
-      if (ev == uarch::kNoEvent) throw_deadlock(now, last_progress_cycle);
+      if (ev == uarch::kNoEvent)
+        throw_deadlock(now, last_progress_cycle, /*no_pending_event=*/true);
       if (ev > now + 1) {
         const std::uint64_t delta = ev - now - 1;
         account_skip(now, delta);
         sched_.skipped_cycles += delta;
         sched_.max_skip = std::max(sched_.max_skip, delta);
         ++sched_.skips;
+        recorder_.record(make_record(now, diag::StepKind::Skip, delta));
         next = ev;
       }
     }
@@ -502,7 +592,7 @@ Result Machine::run_scheduler() {
     // trip it, while a genuine livelock accumulates stalled steps fast.
     if (no_progress_steps > kWatchdogMinSteps &&
         now - last_progress_cycle > cfg_.watchdog_cycles)
-      throw_deadlock(now, last_progress_cycle);
+      throw_deadlock(now, last_progress_cycle, /*no_pending_event=*/false);
 
     now = next;
   }

@@ -25,6 +25,8 @@
 #include <optional>
 #include <vector>
 
+#include "diag/deadlock.hpp"
+#include "diag/flight_recorder.hpp"
 #include "isa/program.hpp"
 #include "machine/config.hpp"
 #include "machine/result.hpp"
@@ -62,7 +64,9 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   // Runs to completion and returns the collected statistics.
-  // Throws std::runtime_error if the machine stops making progress.
+  // Throws diag::DeadlockError (a std::runtime_error) if the machine stops
+  // making progress; the attached DeadlockReport carries queue/core
+  // snapshots, a classified root cause, and the flight-recorder tail.
   // With HIDISC_LOCKSTEP=1 in the environment, an event-skip run is
   // shadowed by a fresh lock-stepped run of the same inputs and a
   // divergence in any Result field throws std::logic_error.
@@ -71,6 +75,11 @@ class Machine {
   // Valid after run(): how the scheduler advanced time.
   [[nodiscard]] const SchedulerStats& sched_stats() const noexcept {
     return sched_;
+  }
+
+  // The always-on flight recorder (forensics; see diag/flight_recorder.hpp).
+  [[nodiscard]] const diag::FlightRecorder& flight_recorder() const noexcept {
+    return recorder_;
   }
 
  private:
@@ -95,8 +104,15 @@ class Machine {
   bool step(std::uint64_t now);
   [[nodiscard]] std::uint64_t next_event_after(std::uint64_t now);
   void account_skip(std::uint64_t now, std::uint64_t delta);
+  [[nodiscard]] diag::StepRecord make_record(std::uint64_t now,
+                                             diag::StepKind kind,
+                                             std::uint64_t arg) const;
+  [[nodiscard]] diag::DeadlockReport build_deadlock_report(
+      std::uint64_t now, std::uint64_t last_progress_cycle,
+      bool no_pending_event) const;
   [[noreturn]] void throw_deadlock(std::uint64_t now,
-                                   std::uint64_t last_progress_cycle) const;
+                                   std::uint64_t last_progress_cycle,
+                                   bool no_pending_event);
 
   const isa::Program& prog_;
   const sim::Trace& trace_;
@@ -138,6 +154,9 @@ class Machine {
   std::uint64_t adapt_last_useful_ = 0;
   std::uint64_t adapt_last_late_ = 0;
   std::uint64_t adapt_last_issued_ = 0;
+
+  // Forensics.
+  diag::FlightRecorder recorder_;
 
   // Stats.
   SchedulerStats sched_;

@@ -171,6 +171,65 @@ void OoOCore::account_idle_cycles(std::uint64_t now, std::uint64_t delta) {
   }
 }
 
+OoOCore::StallProbe OoOCore::probe_oldest_stall(std::uint64_t now) const {
+  StallProbe p;
+  if (window_.empty()) {
+    if (input_.empty()) return p;  // drained
+    const DynOp& op = input_.front();
+    p.valid = true;
+    p.why = diag::StallWhy::Dispatch;
+    p.op = std::string(op.inst->info().name);
+    p.static_idx = op.static_idx;
+    p.trace_pos = op.trace_pos;
+    return p;
+  }
+
+  const Entry& head = window_.front();
+  p.valid = true;
+  p.op = std::string(head.op.inst->info().name);
+  p.static_idx = head.op.static_idx;
+  p.trace_pos = head.op.trace_pos;
+
+  if (completed(head, now)) {
+    // do_commit's only gate: an undrained queue write.
+    if (head.push_queue != nullptr && !head.pushed) {
+      p.why = diag::StallWhy::PushFull;
+      p.queue = head.push_queue;
+    }
+    return p;
+  }
+  if (head.issued) {
+    p.why = diag::StallWhy::InFlight;
+    return p;
+  }
+
+  // Un-issued head: do_issue's gates, in order.  The head has no older
+  // in-window producers, but keep the check for completeness.
+  if (!sources_ready(head, now)) {
+    p.why = diag::StallWhy::Sources;
+    return p;
+  }
+  if (head.needs_pop) {
+    p.queue = head.pop_queue;
+    if (head.pop_queue->front_ready(now) == nullptr) {
+      p.why = head.pop_queue->empty() ? diag::StallWhy::PopEmpty
+                                      : diag::StallWhy::PopNotReady;
+      return p;
+    }
+  }
+  if (head.is_load && cfg_.prefetch_only &&
+      !head.op.inst->ann.cmas_value_live &&
+      prefetch_fills_.size() >=
+          static_cast<std::size_t>(cfg_.prefetch_buffer)) {
+    p.why = diag::StallWhy::FuBusy;
+    return p;
+  }
+  // Sources and queues cleared: a functional unit / memory port is the
+  // remaining gate.
+  p.why = diag::StallWhy::FuBusy;
+  return p;
+}
+
 // Queue writes drain at completion (writeback), in program order per queue
 // — the decoupled machines' whole point is that the consumer sees a value
 // as soon as it is produced, not when it retires.  An entry that has not

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/deadlock.hpp"
 #include "mem/memory_system.hpp"
 #include "uarch/dyn_op.hpp"
 #include "uarch/fu_pool.hpp"
@@ -127,6 +128,23 @@ class OoOCore {
   [[nodiscard]] std::size_t window_occupancy() const noexcept {
     return window_.size();
   }
+  [[nodiscard]] std::size_t input_occupancy() const noexcept {
+    return input_.size();
+  }
+
+  // Forensics: why the oldest op in the core cannot move at `now`.
+  // Walks the same gates as do_commit / do_issue, without mutating
+  // anything.  `valid` is false when the core is drained.
+  struct StallProbe {
+    bool valid = false;
+    diag::StallWhy why = diag::StallWhy::None;
+    std::string op;                    // mnemonic of the oldest op
+    std::int32_t static_idx = -1;
+    std::int64_t trace_pos = -1;
+    const TimedFifo* queue = nullptr;  // involved queue on pop/push stalls
+  };
+  [[nodiscard]] StallProbe probe_oldest_stall(std::uint64_t now) const;
+
   void reset();
 
  private:

@@ -58,6 +58,12 @@ class TimedFifo {
     return &q_.front();
   }
 
+  // The head entry regardless of readiness — forensic use (deadlock
+  // snapshots need the head's ready time even when it is in the future).
+  [[nodiscard]] const Entry* head() const {
+    return q_.empty() ? nullptr : &q_.front();
+  }
+
   Entry pop() {
     Entry e = q_.front();
     q_.pop_front();

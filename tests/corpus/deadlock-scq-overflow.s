@@ -1,0 +1,19 @@
+# hifuzz-repro: v1
+# name: deadlock-scq-overflow
+# seed: 0
+# expect: gap:verify-ok-deadlock:CP+AP:queue-full-cycle
+# streams: A C A A A
+# note: minimized verify-ok deadlock: the separation verifier's occupancy
+# note: walk models LDQ/SDQ but not the 16-entry SCQ, so 100 putscq with
+# note: no consumer verifies clean yet wedges the CP behind a full SCQ
+# note: once its window+input queue (16+64) saturate the in-order front
+# note: end.  Kept as the regression anchor for the classified
+# note: queue-full-cycle DeadlockReport path.
+.text
+_start:
+  li   r5, 100
+fill:
+  putscq
+  addi r5, r5, -1
+  bne  r5, r0, fill
+  halt

@@ -6,7 +6,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "lab/export.hpp"
@@ -131,6 +134,121 @@ TEST(LabResultCache, StoreThenLoadIdentical) {
   EXPECT_EQ(back->workload, "Pointer");
   EXPECT_EQ(back->preset, "HiDISC");
   EXPECT_EQ(back->orig_dynamic_instructions, 123456u);
+}
+
+// ---- cache hardening: checksum footer, strict fields, quarantine -----------
+
+// Reads the whole cache file for `key`; empty when absent.
+std::string read_entry(const std::string& dir, const std::string& key) {
+  std::ifstream in(fs::path(dir) / (key + ".result"));
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+void write_entry(const std::string& dir, const std::string& key,
+                 const std::string& text) {
+  std::ofstream out(fs::path(dir) / (key + ".result"), std::ios::trunc);
+  out << text;
+}
+
+bool quarantined(const std::string& dir, const std::string& key) {
+  return fs::exists(fs::path(dir) / (key + ".result.corrupt"));
+}
+
+TEST(LabResultCache, LineAlignedTruncationIsMissAndQuarantined) {
+  // The v1 regression: a torn-but-line-aligned entry (e.g. a crashed
+  // writer on a non-atomic filesystem) parsed cleanly and silently
+  // zeroed every missing field.  It must now be a miss, and the file
+  // must be moved aside so it stops being retried.
+  TempDir dir("cache_truncated");
+  lab::ResultCache cache(dir.path());
+  const std::string key(32, 'b');
+  ASSERT_TRUE(cache.store(key, {nonzero_result(), "w", "p", 1}));
+
+  std::string text = read_entry(dir.path(), key);
+  // Keep the header + first 6 lines, dropping the rest (and the footer).
+  std::size_t pos = 0;
+  for (int lines = 0; lines < 6; ++lines) pos = text.find('\n', pos) + 1;
+  write_entry(dir.path(), key, text.substr(0, pos));
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_TRUE(quarantined(dir.path(), key));
+  // The quarantined file no longer shadows the slot: a fresh store+load
+  // works again.
+  ASSERT_TRUE(cache.store(key, {nonzero_result(), "w", "p", 1}));
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST(LabResultCache, CorruptValueFailsChecksumAndQuarantines) {
+  TempDir dir("cache_bitrot");
+  lab::ResultCache cache(dir.path());
+  const std::string key(32, 'c');
+  ASSERT_TRUE(cache.store(key, {nonzero_result(), "w", "p", 1}));
+
+  std::string text = read_entry(dir.path(), key);
+  const auto at = text.find("cycles 123456789");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 7] = '9';  // flip one digit; footer no longer matches
+  write_entry(dir.path(), key, text);
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_TRUE(quarantined(dir.path(), key));
+}
+
+TEST(LabResultCache, TornLineIsQuarantined) {
+  TempDir dir("cache_torn");
+  lab::ResultCache cache(dir.path());
+  const std::string key(32, 'd');
+  ASSERT_TRUE(cache.store(key, {nonzero_result(), "w", "p", 1}));
+
+  // Cut mid-line: the last kept line has no "name value" shape.
+  std::string text = read_entry(dir.path(), key);
+  write_entry(dir.path(), key, text.substr(0, text.size() / 2 - 3));
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_TRUE(quarantined(dir.path(), key));
+}
+
+TEST(LabResultCache, ValidChecksumButMissingFieldIsQuarantined) {
+  // Third validation layer: a structurally intact entry (good footer)
+  // whose field list is incomplete — e.g. written by an older binary
+  // after a Result field was added — must not decode as a zeroed field.
+  TempDir dir("cache_drift");
+  lab::ResultCache cache(dir.path());
+  const std::string key(32, 'e');
+  std::string body =
+      "hilab-result v2\nmeta.workload w\nmeta.preset p\n"
+      "meta.orig_dyn_insts 1\ncycles 42\n";  // almost every field absent
+  char footer[32];
+  std::snprintf(footer, sizeof footer, "checksum %016llx",
+                static_cast<unsigned long long>(lab::fnv1a64(body)));
+  write_entry(dir.path(), key, body + footer + "\n");
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_TRUE(quarantined(dir.path(), key));
+}
+
+TEST(LabResultCache, OldVersionHeaderIsPlainMissNotCorruption) {
+  TempDir dir("cache_v1");
+  lab::ResultCache cache(dir.path());
+  const std::string key(32, 'f');
+  write_entry(dir.path(), key, "hilab-result v1\ncycles 42\n");
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_FALSE(quarantined(dir.path(), key));  // stale format, kept in place
+  // The next store simply overwrites it with a v2 entry.
+  ASSERT_TRUE(cache.store(key, {nonzero_result(), "w", "p", 1}));
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST(LabSerialize, FromFieldsReportsFirstMissingField) {
+  auto fields = lab::result_to_fields(nonzero_result());
+  std::string missing = "sentinel";
+  (void)lab::result_from_fields(fields, &missing);
+  EXPECT_TRUE(missing.empty());  // complete map clears it
+  fields.erase("cycles");
+  (void)lab::result_from_fields(fields, &missing);
+  EXPECT_EQ(missing, "cycles");
 }
 
 TEST(LabFingerprint, KeyChangesWithConfigPresetAndProgram) {
@@ -259,6 +377,98 @@ TEST(LabExport, JsonAndCsvCoverEveryCell) {
   std::size_t lines = 0;
   for (const char c : csv) lines += c == '\n';
   EXPECT_EQ(lines, plan.cells.size() + 1);
+}
+
+// ---- fault isolation -------------------------------------------------------
+
+TEST(LabRunner, FailingCellIsIsolatedAndHealthyCellsExport) {
+  // One cell is sabotaged with an absurd watchdog under Lockstep: its
+  // simulation deadlocks deterministically.  Every other cell must
+  // complete, the run must count exactly one failure, and both exports
+  // must carry the healthy numbers plus the failed cell's diagnostics.
+  auto plan = tiny_plan();
+  machine::MachineConfig wedged;
+  wedged.watchdog_cycles = 1;
+  wedged.scheduler = machine::SchedulerKind::Lockstep;
+  plan.cells.push_back(lab::Cell{lab::spec("Pointer", workloads::Scale::Test),
+                                 machine::Preset::Superscalar, wedged, {},
+                                 "wedged"});
+
+  lab::RunOptions opt;
+  opt.threads = 2;
+  const auto run = lab::run_plan(plan, opt);
+
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.failed, 1u);
+  ASSERT_EQ(run.cells.size(), plan.cells.size());
+  const auto& bad = run.cells.back();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error_class.rfind("deadlock:", 0), 0u) << bad.error_class;
+  EXPECT_NE(bad.diagnostic_json.find("\"kind\": \"deadlock\""),
+            std::string::npos);
+  for (std::size_t i = 0; i + 1 < run.cells.size(); ++i) {
+    EXPECT_TRUE(run.cells[i].ok()) << plan.cells[i].workload.name;
+    EXPECT_GT(run.cells[i].result.cycles, 0u);
+  }
+
+  const std::string json = lab::to_json(plan, run, lab::ExportMeta{2});
+  EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"error_class\": \"" + bad.error_class + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"diagnostic\": {"), std::string::npos);
+
+  const std::string csv = lab::to_csv(plan, run);
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, plan.cells.size() + 1);  // failed cells still get a row
+  EXPECT_NE(csv.find("," + bad.error_class + ","), std::string::npos);
+  EXPECT_NE(csv.find("\"machine deadlock:"), std::string::npos);
+}
+
+TEST(LabRunner, FailedPrepPoisonsOnlyItsOwnCells) {
+  // An unbuildable workload spec fails in wave 1; cells that share the
+  // plan but not the prep still run.
+  auto plan = tiny_plan();
+  lab::Cell broken;
+  broken.workload.name = "Broken";
+  broken.workload.make = [](workloads::Scale,
+                            std::uint64_t) -> workloads::BuiltWorkload {
+    throw std::runtime_error("synthetic build failure");
+  };
+  broken.preset = machine::Preset::Superscalar;
+  plan.cells.push_back(broken);
+
+  const auto run = lab::run_plan(plan, lab::RunOptions{});
+  EXPECT_EQ(run.failed, 1u);
+  const auto& bad = run.cells.back();
+  EXPECT_EQ(bad.error_class, "prep");
+  EXPECT_NE(bad.error.find("synthetic build failure"), std::string::npos);
+  EXPECT_TRUE(bad.diagnostic_json.empty());
+  for (std::size_t i = 0; i + 1 < run.cells.size(); ++i)
+    EXPECT_TRUE(run.cells[i].ok());
+}
+
+TEST(LabRunner, FailedCellsNeverEnterTheCache) {
+  TempDir dir("cache_no_poison");
+  auto plan = tiny_plan();
+  plan.cells.clear();
+  machine::MachineConfig wedged;
+  wedged.watchdog_cycles = 1;
+  wedged.scheduler = machine::SchedulerKind::Lockstep;
+  plan.cells.push_back(lab::Cell{lab::spec("Pointer", workloads::Scale::Test),
+                                 machine::Preset::Superscalar, wedged, {},
+                                 "wedged"});
+
+  lab::RunOptions opt;
+  opt.cache_dir = dir.path();
+  const auto first = lab::run_plan(plan, opt);
+  EXPECT_EQ(first.failed, 1u);
+  // No entry was stored, so the rerun re-simulates (and re-fails) instead
+  // of serving a poisoned hit.
+  const auto second = lab::run_plan(plan, opt);
+  EXPECT_EQ(second.failed, 1u);
+  EXPECT_EQ(second.cache_hits, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,31 @@
+# Deliberately deadlocking CI kernel.
+#
+# Strided loads at 64-byte intervals miss the L1 (32B lines) and L2 (64B
+# lines) on every iteration, so each `ld` is a full DRAM round trip with a
+# dependent consumer behind it: the scheduling window fills and the machine
+# makes zero progress for >64 consecutive cycles at a time.  Run under
+#
+#   hisa sim tests/testdata/deadlock-batch.s --machine ss \
+#        --lockstep --watchdog 1 --deadlock-json report.json
+#
+# the watchdog trips deterministically, hisa exits 3, and the classified
+# DeadlockReport lands in report.json (see docs/MACHINE.md).  With a sane
+# watchdog the kernel completes normally — the hang is induced by the
+# deliberately absurd threshold, which is exactly what the forensics CI job
+# wants to exercise.
+.data
+buf: .space 8192
+out: .space 8
+.text
+_start:
+  la   r4, buf
+  li   r5, 120
+loop:
+  ld   r6, 0(r4)
+  add  r7, r7, r6
+  addi r4, r4, 64
+  addi r5, r5, -1
+  bne  r5, r0, loop
+  la   r8, out
+  sd   r7, 0(r8)
+  halt

@@ -6,7 +6,8 @@
 //   hifuzz --replay DIR                   replay a whole corpus directory
 //   hifuzz --demo-shrink                  inject a separator fault, shrink it
 //
-// Exit codes: 0 = clean, 1 = divergence found / replay mismatch, 2 = usage.
+// Exit codes: 0 = clean, 1 = divergence found / replay mismatch / runtime
+// error, 2 = usage.
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -64,14 +65,6 @@ struct Args {
   std::uint64_t max_steps = 8'000'000;
   bool quiet = false;
 };
-
-bool parse_fault(const std::string& s, fuzz::Fault* out) {
-  if (s == "drop-push") *out = fuzz::Fault::DropPush;
-  else if (s == "drop-pop") *out = fuzz::Fault::DropPop;
-  else if (s == "mis-stream") *out = fuzz::Fault::MisStream;
-  else return false;
-  return true;
-}
 
 void print_report(std::ostream& os, const fuzz::OracleReport& rep,
                   const std::string& what) {
@@ -169,6 +162,7 @@ int run_demo_shrink(const Args& a) {
     r.name = "demo-" + rep.signature + "-" + std::to_string(a.seed);
     r.seed = a.seed;
     r.expect = rep.signature;
+    r.inject = oo.fault;  // replay re-injects the same fault
     r.note = "hifuzz --demo-shrink output (fault injected, not a real bug)";
     r.source = minimized_src;
     fuzz::write_repro(std::string(a.corpus_out) + "/" + r.name + ".s", r);
@@ -248,7 +242,9 @@ int main(int argc, char** argv) {
         a.replay_dir = v;
       } else if (arg == "--inject") {
         const char* v = next();
-        if (!v || !parse_fault(v, &a.inject)) return usage();
+        const auto f = v ? fuzz::parse_fault(v) : std::nullopt;
+        if (!f) return usage();
+        a.inject = *f;
       } else if (arg == "--no-shrink") {
         a.shrink = false;
       } else if (arg == "--demo-shrink") {
@@ -274,7 +270,9 @@ int main(int argc, char** argv) {
     if (!a.replay_dir.empty()) return run_replay_dir(a);
     return run_campaign_cli(a);
   } catch (const std::exception& e) {
+    // Runtime failures (unreadable corpus, bad repro file) exit 1; only
+    // bad command lines exit 2, matching the hisa/hilab convention.
     std::cerr << "hifuzz: " << e.what() << "\n";
-    return 2;
+    return 1;
   }
 }

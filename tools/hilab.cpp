@@ -8,10 +8,16 @@
 //   hilab --list
 //   hilab --plan fig8 [--threads N] [--scale paper|test]
 //         [--cache-dir DIR | --no-cache] [--refresh]
+//         [--watchdog N] [--lockstep]
 //         [--json FILE|-] [--csv FILE|-] [--quiet]
 //
 // Guarantees: results are bit-identical for every --threads value, and a
 // second invocation against a warm cache simulates zero cells.
+//
+// Exit codes: 0 = every cell healthy, 4 = partial failure (some cells
+// failed; healthy cells still exported), 1 = infrastructure error (bad
+// plan, broken cache dir, export I/O), 2 = usage.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -40,6 +46,8 @@ int usage(const char* argv0) {
       "  --cache-dir DIR   result cache location (default: .hilab-cache)\n"
       "  --no-cache        disable the persistent result cache\n"
       "  --refresh         ignore existing cache entries, overwrite them\n"
+      "  --watchdog N      override every cell's watchdog threshold\n"
+      "  --lockstep        force the Lockstep scheduler on every cell\n"
       "  --json FILE       export full results as JSON ('-' = stdout)\n"
       "  --csv FILE        export summary rows as CSV ('-' = stdout)\n"
       "  --quiet           suppress the per-cell progress line\n",
@@ -64,7 +72,8 @@ int main(int argc, char** argv) {
   std::string cache_dir = ".hilab-cache";
   workloads::Scale scale = workloads::Scale::Paper;
   int threads = lab::default_threads();
-  bool refresh = false, quiet = false;
+  bool refresh = false, quiet = false, lockstep = false;
+  std::uint64_t watchdog = 0;  // 0 = keep each cell's own threshold
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +101,18 @@ int main(int argc, char** argv) {
       else if (arg == "--cache-dir") cache_dir = value();
       else if (arg == "--no-cache") cache_dir.clear();
       else if (arg == "--refresh") refresh = true;
+      else if (arg == "--watchdog") {
+        const std::string v = value();
+        try {
+          watchdog = std::stoull(v);
+        } catch (const std::exception&) {
+          throw std::runtime_error("--watchdog needs an integer, got '" + v +
+                                   "'");
+        }
+        if (watchdog == 0)
+          throw std::runtime_error("--watchdog must be >= 1");
+      }
+      else if (arg == "--lockstep") lockstep = true;
       else if (arg == "--json") json_path = value();
       else if (arg == "--csv") csv_path = value();
       else if (arg == "--quiet") quiet = true;
@@ -109,7 +130,16 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const lab::ExperimentPlan plan = lab::make_plan(plan_name, scale);
+    lab::ExperimentPlan plan = lab::make_plan(plan_name, scale);
+    // --watchdog participates in content keys, so an overridden run never
+    // aliases a normal run's cache entries; --lockstep deliberately does
+    // not (both schedulers produce bit-identical results).
+    if (watchdog != 0 || lockstep)
+      for (auto& cell : plan.cells) {
+        if (watchdog != 0) cell.config.watchdog_cycles = watchdog;
+        if (lockstep)
+          cell.config.scheduler = machine::SchedulerKind::Lockstep;
+      }
 
     lab::RunOptions opt;
     opt.threads = threads;
@@ -134,20 +164,26 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < plan.cells.size(); ++i) {
         const auto& c = plan.cells[i];
         const auto& r = run.cells[i];
-        table.add_row({c.workload.name, machine::preset_name(c.preset),
-                       c.tag.empty() ? "-" : c.tag,
-                       std::to_string(r.result.cycles),
-                       stats::Table::num(r.result.ipc),
-                       stats::Table::num(r.result.l1.demand_miss_rate()),
-                       r.from_cache ? "cache" : "sim"});
+        if (r.ok()) {
+          table.add_row({c.workload.name, machine::preset_name(c.preset),
+                         c.tag.empty() ? "-" : c.tag,
+                         std::to_string(r.result.cycles),
+                         stats::Table::num(r.result.ipc),
+                         stats::Table::num(r.result.l1.demand_miss_rate()),
+                         r.from_cache ? "cache" : "sim"});
+        } else {
+          table.add_row({c.workload.name, machine::preset_name(c.preset),
+                         c.tag.empty() ? "-" : c.tag, "-", "-", "-",
+                         "FAILED(" + r.error_class + ")"});
+        }
       }
       std::printf("=== plan %s: %s ===\n\n%s\n", plan.name.c_str(),
                   plan.description.c_str(), table.to_string().c_str());
       std::printf(
-          "%zu cells: %zu simulated, %zu cache hits; %zu compilations, "
-          "%zu traces; %d threads; %.0f ms",
-          plan.cells.size(), run.simulated, run.cache_hits, run.preps,
-          run.traces, threads, run.wall_ms);
+          "%zu cells: %zu simulated, %zu cache hits, %zu failed; "
+          "%zu compilations, %zu traces; %d threads; %.0f ms",
+          plan.cells.size(), run.simulated, run.cache_hits, run.failed,
+          run.preps, run.traces, threads, run.wall_ms);
       if (run.sim_cycles_per_sec > 0.0)
         std::printf("; %.2f Mcycles/s", run.sim_cycles_per_sec / 1e6);
       std::printf("\n");
@@ -158,6 +194,25 @@ int main(int argc, char** argv) {
       lab::write_text_file(json_path, lab::to_json(plan, run, meta));
     if (!csv_path.empty())
       lab::write_text_file(csv_path, lab::to_csv(plan, run));
+
+    if (!run.ok()) {
+      // Partial failure: healthy cells are exported above; the failed
+      // ones get a stderr summary and a distinct exit code so harnesses
+      // can tell "some cells broke" from "the run never happened".
+      std::fprintf(stderr, "hilab: %zu/%zu cells failed:\n", run.failed,
+                   plan.cells.size());
+      for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+        const auto& r = run.cells[i];
+        if (r.ok()) continue;
+        const auto& c = plan.cells[i];
+        std::fprintf(stderr, "  %s/%s%s%s [%s] %s\n",
+                     c.workload.name.c_str(),
+                     machine::preset_name(c.preset),
+                     c.tag.empty() ? "" : "/", c.tag.c_str(),
+                     r.error_class.c_str(), r.error.c_str());
+      }
+      return 4;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hilab: %s\n", e.what());

@@ -7,10 +7,15 @@
 //   hisa compile <in.s> [--out sep.bin] [--report]
 //                                    run the HiDISC compiler, show streams
 //   hisa sim <in.bin|in.s> [--machine ss|cpap|cpcmp|hidisc|all]
-//            [--l2 N --mem N]        cycle-level simulation
+//            [--l2 N --mem N] [--watchdog N] [--deadlock-json FILE]
+//                                    cycle-level simulation
 //
 // Inputs ending in .s/.asm are assembled on the fly; anything else is
 // loaded as a saved binary image (see isa/encoding.hpp).
+//
+// Exit codes: 0 = success, 1 = input/assembly/simulation error,
+// 2 = usage, 3 = machine deadlock (classified report on stderr; full
+// JSON to --deadlock-json when given).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "compiler/compile.hpp"
+#include "diag/deadlock.hpp"
 #include "isa/assembler.hpp"
 #include "isa/disassembler.hpp"
 #include "isa/encoding.hpp"
@@ -32,6 +38,10 @@ namespace {
 
 using namespace hidisc;
 
+// Where `sim --deadlock-json FILE` wants the report; consumed by the
+// DeadlockError handler in main().
+std::string g_deadlock_json_path;
+
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: hisa <asm|dis|run|compile|sim> <file> [options]\n"
@@ -40,7 +50,10 @@ using namespace hidisc;
                "  run <in> [--trace N] [--reg rX]...\n"
                "  compile <in.s> [--out sep.bin] [--report]\n"
                "  sim <in> [--machine ss|cpap|cpcmp|hidisc|all]"
-               " [--l2 N --mem N] [--verbose]\n");
+               " [--l2 N --mem N]\n"
+               "      [--watchdog N] [--lockstep] [--deadlock-json FILE]"
+               " [--verbose]\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 deadlock\n");
   std::exit(2);
 }
 
@@ -168,6 +181,12 @@ int cmd_sim(const std::vector<std::string>& args) {
       cfg.mem.l2.hit_latency = std::atoi(args[++i].c_str());
     else if (args[i] == "--mem" && i + 1 < args.size())
       cfg.mem.dram_latency = std::atoi(args[++i].c_str());
+    else if (args[i] == "--watchdog" && i + 1 < args.size())
+      cfg.watchdog_cycles = std::stoull(args[++i]);
+    else if (args[i] == "--lockstep")
+      cfg.scheduler = machine::SchedulerKind::Lockstep;
+    else if (args[i] == "--deadlock-json" && i + 1 < args.size())
+      g_deadlock_json_path = args[++i];
     else if (args[i] == "--verbose")
       verbose = true;
     else
@@ -219,6 +238,22 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "compile") return cmd_compile(args);
     if (cmd == "sim") return cmd_sim(args);
+  } catch (const diag::DeadlockError& e) {
+    // Machine deadlock: full forensic report to stderr, machine-readable
+    // JSON where asked, and a distinct exit code so harnesses can tell
+    // "model hang" from "bad input".
+    std::fprintf(stderr, "hisa: %s\n\n%s", e.what(),
+                 e.report().to_text().c_str());
+    if (!g_deadlock_json_path.empty()) {
+      std::ofstream out(g_deadlock_json_path, std::ios::trunc);
+      if (out) {
+        out << e.report().to_json() << '\n';
+      } else {
+        std::fprintf(stderr, "hisa: cannot write %s\n",
+                     g_deadlock_json_path.c_str());
+      }
+    }
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hisa: %s\n", e.what());
     return 1;
