@@ -52,6 +52,7 @@ void visit_core_stats(const std::string& p, R& s, V&& v) {
   v(p + ".stores", s.stores);
   v(p + ".forwarded_loads", s.forwarded_loads);
   v(p + ".window_full_stalls", s.window_full_stalls);
+  v(p + ".lsq_full_stalls", s.lsq_full_stalls);
   v(p + ".queue_full_commit_stalls", s.queue_full_commit_stalls);
   v(p + ".head_pop_empty_stalls", s.head_pop_empty_stalls);
   v(p + ".lod_stalls", s.lod_stalls);

@@ -48,6 +48,7 @@ Machine::Machine(const isa::Program& prog, const sim::Trace& trace,
       trace_(trace),
       preset_(preset),
       cfg_(cfg),
+      optable_(prog),
       memsys_(cfg.mem),
       predictor_(cfg.predictor_table, cfg.btb_size, 8,
                  cfg.predictor_kind),
@@ -58,20 +59,20 @@ Machine::Machine(const isa::Program& prog, const sim::Trace& trace,
   const OoOCore::Queues queues{&ldq_, &sdq_, &scq_};
   switch (preset_) {
     case Preset::Superscalar:
-      main_ = std::make_unique<OoOCore>(cfg_.superscalar, &memsys_, queues);
+      main_ = std::make_unique<OoOCore>(cfg_.superscalar, &memsys_, queues, &optable_);
       break;
     case Preset::CPAP:
-      cp_ = std::make_unique<OoOCore>(cfg_.cp, &memsys_, queues);
-      ap_ = std::make_unique<OoOCore>(cfg_.ap, &memsys_, queues);
+      cp_ = std::make_unique<OoOCore>(cfg_.cp, &memsys_, queues, &optable_);
+      ap_ = std::make_unique<OoOCore>(cfg_.ap, &memsys_, queues, &optable_);
       break;
     case Preset::CPCMP:
-      main_ = std::make_unique<OoOCore>(cfg_.superscalar, &memsys_, queues);
-      cmp_ = std::make_unique<OoOCore>(cfg_.cmp, &memsys_, queues);
+      main_ = std::make_unique<OoOCore>(cfg_.superscalar, &memsys_, queues, &optable_);
+      cmp_ = std::make_unique<OoOCore>(cfg_.cmp, &memsys_, queues, &optable_);
       break;
     case Preset::HiDISC:
-      cp_ = std::make_unique<OoOCore>(cfg_.cp, &memsys_, queues);
-      ap_ = std::make_unique<OoOCore>(cfg_.ap, &memsys_, queues);
-      cmp_ = std::make_unique<OoOCore>(cfg_.cmp, &memsys_, queues);
+      cp_ = std::make_unique<OoOCore>(cfg_.cp, &memsys_, queues, &optable_);
+      ap_ = std::make_unique<OoOCore>(cfg_.ap, &memsys_, queues, &optable_);
+      cmp_ = std::make_unique<OoOCore>(cfg_.cmp, &memsys_, queues, &optable_);
       break;
   }
   if (cmp_) {
@@ -359,7 +360,7 @@ Result Machine::run() {
 bool Machine::resolve_branches() {
   bool progress = false;
   for (auto* core : {main_.get(), cp_.get(), ap_.get()}) {
-    if (core == nullptr) continue;
+    if (core == nullptr || !core->has_resolved()) continue;
     for (const auto& rb : core->take_resolved_branches()) {
       if (rb.trace_pos == pending_branch_pos_) {
         pending_branch_pos_ = -1;

@@ -119,6 +119,10 @@ class Machine {
   Preset preset_;
   MachineConfig cfg_;
 
+  // Per-static-instruction pre-decode shared by every core (see
+  // uarch/static_op.hpp); must outlive the cores below.
+  uarch::StaticOpTable optable_;
+
   mem::MemorySystem memsys_;
   uarch::BimodalPredictor predictor_;
   uarch::TimedFifo ldq_;

@@ -13,6 +13,7 @@ void core_section(std::ostringstream& out, const char* name,
       << s.committed << "), loads " << s.loads << ", stores " << s.stores
       << ", forwarded " << s.forwarded_loads << "\n"
       << "      stalls: window-full " << s.window_full_stalls
+      << ", lsq-full " << s.lsq_full_stalls
       << ", queue-wait " << s.head_pop_empty_stalls << ", LOD "
       << s.lod_stalls << ", push-blocked " << s.queue_full_commit_stalls
       << "\n";

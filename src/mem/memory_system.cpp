@@ -64,7 +64,7 @@ AccessResult MemorySystem::access(std::uint64_t addr, AccessType type,
                                   std::int16_t pf_group) {
   AccessResult out;
   const bool demand = type != AccessType::Prefetch;
-  if (demand && static_idx >= 0) ++profile_[static_idx].accesses;
+  if (demand && static_idx >= 0) ++profile_slot(static_idx).accesses;
 
   // L1 lookup.  On a miss we must know the fill time before allocating, so
   // probe L2 first in that case.
@@ -78,7 +78,7 @@ AccessResult MemorySystem::access(std::uint64_t addr, AccessType type,
     return out;
   }
 
-  if (demand && static_idx >= 0) ++profile_[static_idx].misses;
+  if (demand && static_idx >= 0) ++profile_slot(static_idx).misses;
 
   // An L1 miss is a bus transaction: under contention modelling the
   // request waits for the bus before the L2 lookup begins.

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hpp"
@@ -65,13 +64,14 @@ class MemorySystem {
   [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
   [[nodiscard]] const MemConfig& config() const noexcept { return cfg_; }
 
-  // Profile: static instruction index -> {accesses, L1 demand misses}.
+  // Profile, indexed by static instruction: {accesses, L1 demand misses}.
+  // Flat (grown on demand to the largest static_idx seen) so the hot
+  // demand-access path is one indexed add, not a hash probe.
   struct ProfileEntry {
     std::uint64_t accesses = 0;
     std::uint64_t misses = 0;
   };
-  [[nodiscard]] const std::unordered_map<std::int32_t, ProfileEntry>&
-  profile() const noexcept {
+  [[nodiscard]] const std::vector<ProfileEntry>& profile() const noexcept {
     return profile_;
   }
 
@@ -109,7 +109,14 @@ class MemorySystem {
 
   std::uint64_t bus_free_ = 0;
   std::uint64_t bus_busy_cycles_ = 0;
-  std::unordered_map<std::int32_t, ProfileEntry> profile_;
+  // Grows `profile_` to cover `idx` and returns the slot.
+  [[nodiscard]] ProfileEntry& profile_slot(std::int32_t idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    if (i >= profile_.size()) profile_.resize(i + 1);
+    return profile_[i];
+  }
+
+  std::vector<ProfileEntry> profile_;
   bool track_fills_ = false;
   std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                       std::greater<>>

@@ -1,18 +1,50 @@
 #include "uarch/core.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
+#include <string>
 
 namespace hidisc::uarch {
 
 using isa::OpClass;
 using isa::Opcode;
 
+namespace {
+
+// Lazily drops heap tops that have already been reached.  Entries for
+// committed ops are covered too: commit requires completion, so their
+// times are <= the commit cycle and fall out here.
+void prune_heap(std::vector<std::uint64_t>& heap, std::uint64_t now) {
+  while (!heap.empty() && heap.front() <= now) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
+  }
+}
+
+void push_heap_value(std::vector<std::uint64_t>& heap, std::uint64_t v) {
+  heap.push_back(v);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+
+constexpr std::uint64_t store_line(std::uint64_t addr) noexcept {
+  return addr & ~7ull;
+}
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 OoOCore::OoOCore(const CoreConfig& cfg, mem::MemorySystem* memsys,
-                 Queues queues)
+                 Queues queues, const StaticOpTable* table)
     : cfg_(cfg),
       memsys_(memsys),
       queues_(queues),
+      table_(table),
       last_writer_(isa::kNumArchRegs, 0),
       int_alu_(cfg.int_alu),
       int_muldiv_(cfg.int_muldiv),
@@ -21,11 +53,16 @@ OoOCore::OoOCore(const CoreConfig& cfg, mem::MemorySystem* memsys,
       mem_ports_(cfg.mem_ports) {
   if (cfg.window <= 0 || cfg.issue_width <= 0 || cfg.commit_width <= 0)
     throw std::invalid_argument(cfg.name + ": non-positive core geometry");
+  slots_.resize(pow2_at_least(static_cast<std::size_t>(cfg.window)));
+  window_mask_ = slots_.size() - 1;
+  input_slots_.resize(
+      pow2_at_least(static_cast<std::size_t>(std::max(1, cfg.input_queue))));
+  input_mask_ = input_slots_.size() - 1;
 }
 
 void OoOCore::reset() {
-  input_.clear();
-  window_.clear();
+  input_head_ = input_count_ = 0;
+  window_head_ = window_count_ = 0;
   next_seq_ = base_seq_ = 1;
   mem_ops_in_window_ = 0;
   std::fill(last_writer_.begin(), last_writer_.end(), 0);
@@ -34,15 +71,23 @@ void OoOCore::reset() {
   fp_alu_.reset();
   fp_muldiv_.reset();
   mem_ports_.reset();
+  completion_events_.clear();
+  next_completion_ = kNoEvent;
+  for (auto& pend : pending_push_) pend.clear();
+  active_.clear();
+  pinned_.clear();
+  expired_scratch_.clear();
+  oldest_unissued_ = 0;
+  active_rescan_ = 0;
+  for (auto& sl : queue_sleepers_) sl.clear();
+  sleeper_gen_[0] = sleeper_gen_[1] = sleeper_gen_[2] = 0;
+  head_sleep_seq_ = 0;
+  head_sleep_slot_ = 0;
+  sleeping_ = 0;
+  stores_by_line_.clear();
   prefetch_fills_.clear();
   stats_ = CoreStats{};
   resolved_.clear();
-}
-
-bool OoOCore::enqueue(const DynOp& op) {
-  if (input_full()) return false;
-  input_.push_back(op);
-  return true;
 }
 
 std::vector<ResolvedBranch> OoOCore::take_resolved_branches() {
@@ -51,51 +96,35 @@ std::vector<ResolvedBranch> OoOCore::take_resolved_branches() {
   return out;
 }
 
-const OoOCore::Entry* OoOCore::find_by_seq(std::uint64_t seq) const {
-  if (seq < base_seq_) return nullptr;  // already committed
-  const auto idx = seq - base_seq_;
-  if (idx >= window_.size()) return nullptr;
-  return &window_[idx];
-}
-
-bool OoOCore::sources_ready(const Entry& e, std::uint64_t now) const {
-  for (const auto seq : e.src_seq) {
-    if (seq == 0) continue;
-    const Entry* p = find_by_seq(seq);
-    if (p == nullptr) continue;  // producer committed: value architectural
-    if (!completed(*p, now)) return false;
+FuPool* OoOCore::pool_ptr(PoolKind kind) {
+  switch (kind) {
+    case PoolKind::IntAlu: return &int_alu_;
+    case PoolKind::IntMulDiv: return &int_muldiv_;
+    case PoolKind::FpAlu: return &fp_alu_;
+    case PoolKind::FpMulDiv: return &fp_muldiv_;
+    case PoolKind::Mem: return &mem_ports_;
+    case PoolKind::None: return nullptr;
   }
-  return true;
+  return nullptr;
 }
 
-FuPool* OoOCore::pool_for(OpClass cls) {
-  switch (cls) {
-    case OpClass::IntAlu:
-    case OpClass::Branch:
-    case OpClass::Jump:
-      return &int_alu_;
-    case OpClass::IntMul:
-    case OpClass::IntDiv:
-      return &int_muldiv_;
-    case OpClass::FpAlu:
-      return &fp_alu_;
-    case OpClass::FpMul:
-    case OpClass::FpDiv:
-      return &fp_muldiv_;
-    case OpClass::Load:
-    case OpClass::Store:
-    case OpClass::Prefetch:
-      return &mem_ports_;
-    case OpClass::Queue:
-    case OpClass::Halt:
-    case OpClass::Nop:
-      return nullptr;
+TimedFifo* OoOCore::queue_ptr(QueueRole role) const noexcept {
+  switch (role) {
+    case QueueRole::Ldq: return queues_.ldq;
+    case QueueRole::Sdq: return queues_.sdq;
+    case QueueRole::Scq: return queues_.scq;
+    case QueueRole::None: return nullptr;
   }
   return nullptr;
 }
 
 bool OoOCore::tick(std::uint64_t now) {
-  if (!window_.empty() || !input_.empty()) ++stats_.busy_cycles;
+  if (window_count_ != 0 || input_count_ != 0) ++stats_.busy_cycles;
+  // Keep the completion heap bounded by the in-flight population: during
+  // long progress stretches nobody queries next_event_cycle, and without
+  // this drain expired events would pile up and tax every push.
+  if (!completion_events_.empty() && completion_events_.front() <= now)
+    prune_heap(completion_events_, now);
   progress_ = false;
   do_commit(now);
   do_pushes(now);
@@ -104,39 +133,64 @@ bool OoOCore::tick(std::uint64_t now) {
   return progress_;
 }
 
+void OoOCore::prune_prefetch_fills(std::uint64_t now) const {
+  prune_heap(prefetch_fills_, now);
+}
+
 std::uint64_t OoOCore::next_event_cycle(std::uint64_t now) const {
-  std::uint64_t ev = kNoEvent;
   // Issued-but-incomplete entries cover every time-threshold their
   // completion gates: commit of the head, queue writes draining, consumers'
-  // sources_ready, and load/store disambiguation waits.
-  for (const auto& e : window_)
-    if (e.issued && e.complete_cycle > now && e.complete_cycle < ev)
-      ev = e.complete_cycle;
+  // sources_ready, and load/store disambiguation waits.  The completion
+  // heap's pruned top is exactly the earliest of them; the cached copy is
+  // only refreshed once it falls due, so between completions this poll
+  // never touches the heap.
+  if (next_completion_ != kNoEvent && next_completion_ <= now) {
+    prune_heap(completion_events_, now);
+    next_completion_ =
+        completion_events_.empty() ? kNoEvent : completion_events_.front();
+  }
+  std::uint64_t ev = next_completion_;
   for (const FuPool* pool :
        {&int_alu_, &int_muldiv_, &fp_alu_, &fp_muldiv_, &mem_ports_})
     ev = std::min(ev, pool->next_release(now));
   // A full prefetch buffer frees a slot when its earliest fill lands.
-  for (const auto t : prefetch_fills_)
-    if (t > now && t < ev) ev = t;
+  prune_prefetch_fills(now);
+  if (!prefetch_fills_.empty() && prefetch_fills_.front() < ev)
+    ev = prefetch_fills_.front();
   return ev;
 }
 
 // Mirrors exactly the per-cycle stall counters tick() accrues in a cycle
-// where nothing can change: busy time, dispatch blocked on a full window,
-// commit blocked on an undrained queue write, the per-queue full-stall
-// note of do_pushes, and the oldest-op empty-queue stalls of do_issue.
-// Any drift here is caught by the HIDISC_LOCKSTEP verification path.
+// where nothing can change: busy time, dispatch blocked on a full window
+// or an exhausted LSQ share, commit blocked on an undrained queue write,
+// the per-queue full-stall note of do_pushes, and the oldest-op
+// empty-queue stalls of do_issue.  Any drift here is caught by the
+// HIDISC_LOCKSTEP verification path.
 void OoOCore::account_idle_cycles(std::uint64_t now, std::uint64_t delta) {
   if (delta == 0) return;
-  if (window_.empty() && input_.empty()) return;  // quiescent: nothing accrues
+  if (window_count_ == 0 && input_count_ == 0) return;  // quiescent
   stats_.busy_cycles += delta;
 
-  if (!input_.empty() &&
-      window_.size() >= static_cast<std::size_t>(cfg_.window))
-    stats_.window_full_stalls += delta;
+  if (input_count_ != 0) {
+    if (window_count_ >= static_cast<std::size_t>(cfg_.window)) {
+      stats_.window_full_stalls += delta;
+    } else {
+      // Window has room yet dispatch was frozen: the head of the input
+      // queue must be a memory op blocked on the LSQ share (the only other
+      // dispatch gate) — mirror do_dispatch's per-cycle counter.
+      StaticOp scratch;
+      const DynOp& op = input_front();
+      const StaticOp& so = table_ != nullptr ? (*table_)[op.static_idx]
+                                             : (scratch = decode_static_op(
+                                                    *op.inst),
+                                                scratch);
+      if ((so.is_load || so.is_store) && mem_ops_in_window_ >= cfg_.lsq)
+        stats_.lsq_full_stalls += delta;
+    }
+  }
 
-  if (!window_.empty()) {
-    const Entry& head = window_.front();
+  if (window_count_ != 0) {
+    const Entry& head = window_at(0);
     if (completed(head, now) && head.push_queue != nullptr && !head.pushed)
       stats_.queue_full_commit_stalls += delta;
   }
@@ -144,38 +198,33 @@ void OoOCore::account_idle_cycles(std::uint64_t now, std::uint64_t delta) {
   // do_pushes: one full-stall note per queue per cycle, charged when the
   // oldest un-pushed write for that queue is completed but the queue is
   // full.  (An older incomplete write blocks younger ones silently.)
-  bool ldq_blocked = false, sdq_blocked = false, scq_blocked = false;
-  for (const auto& e : window_) {
-    if (e.push_queue == nullptr) continue;
-    bool* blocked = e.push_queue == queues_.ldq   ? &ldq_blocked
-                    : e.push_queue == queues_.sdq ? &sdq_blocked
-                                                  : &scq_blocked;
-    if (*blocked) continue;
-    if (e.pushed) continue;
-    if (completed(e, now) && e.push_queue->full())
-      e.push_queue->note_full_stalls(delta);
-    *blocked = true;
+  for (const auto& pend : pending_push_) {
+    if (pend.empty()) continue;
+    const Entry* e = find_by_seq(pend.front());
+    if (e != nullptr && completed(*e, now) && e->push_queue->full())
+      e->push_queue->note_full_stalls(delta);
   }
 
   // do_issue: the oldest un-issued op, when ready but waiting on an empty
   // (or not-yet-ready) architectural queue, counts a head stall per cycle.
-  for (const auto& e : window_) {
-    if (e.issued) continue;
-    if (sources_ready(e, now) && e.needs_pop &&
-        e.pop_queue->front_ready(now) == nullptr) {
+  // Read through the maintained cursor — the pin state of the entry is
+  // irrelevant here, the gates are re-derived from the window directly.
+  if (oldest_unissued_ != 0) {
+    const Entry* e = find_by_seq(oldest_unissued_);
+    if (e != nullptr && sources_ready(*e, now) && e->pop_queue != nullptr &&
+        e->pop_queue->front_ready(now) == nullptr) {
       stats_.head_pop_empty_stalls += delta;
-      e.pop_queue->note_empty_stalls(delta);
-      if (e.pop_queue == queues_.sdq) stats_.lod_stalls += delta;
+      e->pop_queue->note_empty_stalls(delta);
+      if (e->pop_queue == queues_.sdq) stats_.lod_stalls += delta;
     }
-    break;
   }
 }
 
 OoOCore::StallProbe OoOCore::probe_oldest_stall(std::uint64_t now) const {
   StallProbe p;
-  if (window_.empty()) {
-    if (input_.empty()) return p;  // drained
-    const DynOp& op = input_.front();
+  if (window_count_ == 0) {
+    if (input_count_ == 0) return p;  // drained
+    const DynOp& op = input_front();
     p.valid = true;
     p.why = diag::StallWhy::Dispatch;
     p.op = std::string(op.inst->info().name);
@@ -184,7 +233,7 @@ OoOCore::StallProbe OoOCore::probe_oldest_stall(std::uint64_t now) const {
     return p;
   }
 
-  const Entry& head = window_.front();
+  const Entry& head = window_at(0);
   p.valid = true;
   p.op = std::string(head.op.inst->info().name);
   p.static_idx = head.op.static_idx;
@@ -209,7 +258,7 @@ OoOCore::StallProbe OoOCore::probe_oldest_stall(std::uint64_t now) const {
     p.why = diag::StallWhy::Sources;
     return p;
   }
-  if (head.needs_pop) {
+  if (head.pop_queue != nullptr) {
     p.queue = head.pop_queue;
     if (head.pop_queue->front_ready(now) == nullptr) {
       p.why = head.pop_queue->empty() ? diag::StallWhy::PopEmpty
@@ -217,12 +266,13 @@ OoOCore::StallProbe OoOCore::probe_oldest_stall(std::uint64_t now) const {
       return p;
     }
   }
-  if (head.is_load && cfg_.prefetch_only &&
-      !head.op.inst->ann.cmas_value_live &&
-      prefetch_fills_.size() >=
-          static_cast<std::size_t>(cfg_.prefetch_buffer)) {
-    p.why = diag::StallWhy::FuBusy;
-    return p;
+  if (head.so.is_load && cfg_.prefetch_only && !head.so.value_live) {
+    prune_prefetch_fills(now);
+    if (prefetch_fills_.size() >=
+        static_cast<std::size_t>(cfg_.prefetch_buffer)) {
+      p.why = diag::StallWhy::FuBusy;
+      return p;
+    }
   }
   // Sources and queues cleared: a functional unit / memory port is the
   // remaining gate.
@@ -233,56 +283,146 @@ OoOCore::StallProbe OoOCore::probe_oldest_stall(std::uint64_t now) const {
 // Queue writes drain at completion (writeback), in program order per queue
 // — the decoupled machines' whole point is that the consumer sees a value
 // as soon as it is produced, not when it retires.  An entry that has not
-// managed its write (queue full) blocks commit.
+// managed its write (queue full) blocks commit.  Only each queue's oldest
+// pending write can move, so the cursors replace the historical window
+// scan.
 void OoOCore::do_pushes(std::uint64_t now) {
-  bool ldq_blocked = false, sdq_blocked = false, scq_blocked = false;
-  for (auto& e : window_) {
-    if (e.push_queue == nullptr) continue;
-    bool* blocked = e.push_queue == queues_.ldq   ? &ldq_blocked
-                    : e.push_queue == queues_.sdq ? &sdq_blocked
-                                                  : &scq_blocked;
-    if (*blocked) continue;
-    if (e.pushed) continue;
-    if (!completed(e, now)) {  // younger writes to this queue must wait
-      *blocked = true;
-      continue;
+  for (auto& pend : pending_push_) {
+    while (!pend.empty()) {
+      Entry& e = *find_by_seq(pend.front());
+      if (!completed(e, now)) break;  // younger writes to this queue wait
+      TimedFifo::Entry qe;
+      // Value travels one cycle through the queue interconnect.
+      qe.ready = now + 1;
+      qe.producer_pos = e.op.trace_pos;
+      qe.eod = e.push_eod;
+      if (!e.push_queue->push(qe)) {
+        e.push_queue->note_full_stall();
+        break;
+      }
+      e.pushed = true;
+      progress_ = true;
+      pend.pop_front();
     }
-    TimedFifo::Entry qe;
-    // Value travels one cycle through the queue interconnect.
-    qe.ready = now + 1;
-    qe.producer_pos = e.op.trace_pos;
-    qe.eod = e.push_eod;
-    if (!e.push_queue->push(qe)) {
-      e.push_queue->note_full_stall();
-      *blocked = true;
-      continue;
-    }
-    e.pushed = true;
-    progress_ = true;
   }
 }
 
 void OoOCore::do_commit(std::uint64_t now) {
   int committed = 0;
-  while (!window_.empty() && committed < cfg_.commit_width) {
-    Entry& head = window_.front();
+  while (window_count_ != 0 && committed < cfg_.commit_width) {
+    Entry& head = window_at(0);
     if (!completed(head, now)) break;
     if (head.push_queue != nullptr && !head.pushed) {
       ++stats_.queue_full_commit_stalls;
       break;  // the queue write has not drained yet
     }
-    if (head.is_load || head.is_store) --mem_ops_in_window_;
+    if (head.so.is_load || head.so.is_store) --mem_ops_in_window_;
+    if (head.so.is_store) {
+      // The committing store is this line's oldest in-window store, i.e.
+      // the front of its disambiguation bucket.
+      const auto it = stores_by_line_.find(store_line(head.op.addr));
+      it->second.erase(it->second.begin());
+      if (it->second.empty()) stores_by_line_.erase(it);
+    }
     if (head.op.count_commit) ++stats_.committed;
     ++stats_.committed_all;
-    window_.pop_front();
+    window_head_ = (window_head_ + 1) & window_mask_;
+    --window_count_;
     ++base_seq_;
     ++committed;
     progress_ = true;
   }
 }
 
+OoOCore::Disambiguation OoOCore::check_older_stores(std::uint64_t line,
+                                                    std::uint64_t seq,
+                                                    std::uint64_t now) const {
+  Disambiguation d;
+  const auto it = stores_by_line_.find(line);
+  if (it == stores_by_line_.end()) return d;
+  // Bucket seqs ascend, so this walk visits overlapping stores oldest
+  // first — identical order (and first-incomplete early-out) to the
+  // historical full-window scan, minus every non-overlapping entry.
+  for (const auto s : it->second) {
+    if (s >= seq) break;
+    const Entry* older = find_by_seq(s);
+    if (!completed(*older, now)) {
+      d.wait = true;
+      d.until = older->issued
+                    ? older->complete_cycle
+                    : std::max(now + 2, older->pin_until + 1);
+      break;
+    }
+    d.forward = true;  // most recent older overlapping store wins
+  }
+  return d;
+}
+
 void OoOCore::do_issue(std::uint64_t now) {
+  const auto until_after = [](const Unissued& a, const Unissued& b) {
+    return a.until > b.until;
+  };
+  const auto seq_before = [](const Unissued& a, const Unissued& b) {
+    return a.seq < b.seq;
+  };
+  // Entries whose pin fell due — and sleepers whose queue saw a push
+  // since they parked — rejoin the active scan in program order.
+  const bool have_expired =
+      !pinned_.empty() && pinned_.front().until <= now;
+  if (have_expired || sleeping_ != 0) {
+    expired_scratch_.clear();
+    while (!pinned_.empty() && pinned_.front().until <= now) {
+      std::pop_heap(pinned_.begin(), pinned_.end(), until_after);
+      expired_scratch_.push_back(pinned_.back());
+      pinned_.pop_back();
+    }
+    if (sleeping_ != 0) {
+      for (int s = 0; s < 3; ++s) {
+        auto& sl = queue_sleepers_[s];
+        const bool head_here = head_sleep_seq_ != 0 && head_sleep_slot_ == s;
+        if (sl.empty() && !head_here) continue;
+        if (queue_from_slot(s)->stats().pushes == sleeper_gen_[s]) continue;
+        sleeping_ -= sl.size();
+        expired_scratch_.insert(expired_scratch_.end(), sl.begin(), sl.end());
+        sl.clear();
+        if (head_here) {
+          expired_scratch_.push_back({head_sleep_seq_, 0});
+          head_sleep_seq_ = 0;
+          --sleeping_;
+        }
+      }
+    }
+    if (!expired_scratch_.empty()) {
+      std::sort(expired_scratch_.begin(), expired_scratch_.end(), seq_before);
+      const auto mid = active_.size();
+      active_.insert(active_.end(), expired_scratch_.begin(),
+                     expired_scratch_.end());
+      std::inplace_merge(active_.begin(),
+                         active_.begin() + static_cast<std::ptrdiff_t>(mid),
+                         active_.end(), seq_before);
+      active_rescan_ = 0;  // the woken entries must be visited this pass
+    }
+  }
+  // A head still asleep is exactly a head whose visit would have charged
+  // an empty-queue stall this cycle: same queue, still no token (its
+  // generation is unchanged), sources still ready (completion times only
+  // move toward the past).  Charge without the walk.
+  if (head_sleep_seq_ != 0) {
+    ++stats_.head_pop_empty_stalls;
+    TimedFifo* fq = queue_from_slot(head_sleep_slot_);
+    fq->note_empty_stall();
+    if (fq == queues_.sdq) ++stats_.lod_stalls;
+  }
+  // Walk-free fast path: when the last pass left every active entry
+  // carrying a justified future pin (and nothing merged or dispatched
+  // since), the walk below is provably a pure rescan of blocked entries
+  // — skip it outright.  Any entry that must be revisited every cycle
+  // (queue/order/width blocks, the charging head) forces rescan at
+  // now + 1; pins force it at their expiry; dispatch resets it to 0.
+  if (active_rescan_ > now) return;
+
   int issued = 0;
+  std::uint64_t rescan = kNoEvent;
   // Per-queue pop state for this cycle: pops must drain in program order
   // (an older blocked pop blocks younger ones) and respect the per-cycle
   // queue read bandwidth.
@@ -291,89 +431,287 @@ void OoOCore::do_issue(std::uint64_t now) {
     int pops = 0;
   };
   PopState ldq_state, sdq_state, scq_state;
-  bool saw_unissued = false;
-  for (auto& e : window_) {
+  // Earliest release of each FU pool proven exhausted this pass (0 = not
+  // proven).  Mid-pass acquires only consume units, so once one acquire
+  // fails, every later same-pool acquire this cycle fails too — those
+  // entries pin straight away without re-running their gates.  Sound only
+  // when the skipped visit is side-effect-free: no pop role (per-cycle
+  // read budget) and no store-to-load forwarding possibility (a forward
+  // bypasses the pool and would have issued).
+  std::uint64_t pool_until[6] = {};
+  // Program-order head of the whole unissued population, fixed for this
+  // pass: the one entry whose empty-queue wait is charged to the stall
+  // counters.  It is never queue-pinned (see the advance below), so when
+  // that charge is due the head is in the active list.
+  const std::uint64_t head_seq = oldest_unissued_;
+  // Walk the active entries (ascending seq == program order), compacting
+  // out the ones that issue or get pinned.
+  std::size_t keep = 0;
+  // Pins shorter than this horizon stay in the active list, skipped by a
+  // plain compare on the 16-byte element: the dominant pins are two-cycle
+  // unissued-producer bounds, and a heap round trip (push, expire, sort,
+  // merge) per two cycles costs far more than the compares it saves.
+  // Only waits long enough to amortize the round trip park in the heap.
+  static constexpr std::uint64_t kPinHorizon = 16;
+  const auto pin = [&](Unissued u, Entry& e) {
+    e.pin_until = u.until;
+    if (u.until > now + kPinHorizon) {
+      pinned_.push_back(u);
+      std::push_heap(pinned_.begin(), pinned_.end(), until_after);
+    } else {
+      active_[keep++] = u;
+      rescan = std::min(rescan, u.until);
+    }
+  };
+  std::size_t i = 0;
+  for (; i < active_.size(); ++i) {
     if (issued >= cfg_.issue_width) break;
-    if (e.issued) continue;
-    const bool is_head = !saw_unissued;
-    saw_unissued = true;
+    Unissued u = active_[i];
 
-    if (!sources_ready(e, now)) continue;
+    // Short-pin fast path: a prior visit proved the entry cannot issue
+    // before u.until; skip on the cursor element alone.
+    if (now < u.until) {
+      active_[keep++] = u;
+      rescan = std::min(rescan, u.until);
+      continue;
+    }
+    Entry& e = *find_by_seq(u.seq);
 
-    if (e.needs_pop) {
-      PopState& ps = e.pop_queue == queues_.ldq   ? ldq_state
-                     : e.pop_queue == queues_.sdq ? sdq_state
-                                                  : scq_state;
-      if (ps.order_blocked || ps.pops >= cfg_.queue_pops_per_cycle) continue;
+    // Pool-exhausted short-circuit (see pool_until above).
+    if (const auto fu_until = pool_until[static_cast<std::size_t>(e.so.pool)];
+        fu_until != 0 && e.pop_queue == nullptr && !e.forwarded &&
+        (!e.so.is_load || !cfg_.has_lsu || e.no_conflict)) {
+      u.until = fu_until;
+      pin(u, e);
+      continue;
+    }
+
+    // An order- or bandwidth-blocked pop cannot issue this cycle no
+    // matter what; bail before the source loop (same transient keep the
+    // pop gate below would take).
+    PopState* ps = nullptr;
+    if (e.pop_queue != nullptr) {
+      ps = e.pop_queue == queues_.ldq   ? &ldq_state
+           : e.pop_queue == queues_.sdq ? &sdq_state
+                                        : &scq_state;
+      if (ps->order_blocked || ps->pops >= cfg_.queue_pops_per_cycle) {
+        if (e.pop_queue->head() == nullptr) {
+          // No token exists at all: nothing to pop until a push, which
+          // bumps the generation and wakes the sleeper.
+          const int s = queue_slot(e.pop_queue);
+          queue_sleepers_[s].push_back({u.seq, 0});
+          sleeper_gen_[s] = e.pop_queue->stats().pushes;
+          ++sleeping_;
+        } else {
+          active_[keep++] = u;
+          rescan = now + 1;
+        }
+        continue;
+      }
+    }
+
+    // Source gate; on a block, pin until the producers' fixed completion
+    // times (an unissued producer issues at now + 1 at the earliest and
+    // every latency is >= 1, hence now + 2).
+    std::uint64_t src_bound = 0;
+    for (const auto seq : e.src_seq) {
+      if (seq == 0) continue;
+      const Entry* prod = find_by_seq(seq);
+      if (prod == nullptr) continue;  // committed: value architectural
+      if (!prod->issued) {
+        // The producer issues no earlier than now + 1 (or its own proven
+        // pin bound) and completes no earlier than its minimum latency
+        // after that: fixed so.latency for ALU ops, 1 for memory ops
+        // (forwarded loads and stores complete next cycle).
+        const std::uint64_t min_lat =
+            (prod->so.is_load || prod->so.is_store || prod->so.is_prefetch)
+                ? 1
+                : static_cast<std::uint64_t>(
+                      std::max<std::int16_t>(1, prod->so.latency));
+        src_bound = std::max(src_bound,
+                             std::max(now + 1, prod->pin_until) + min_lat);
+      } else if (prod->complete_cycle > now) {
+        src_bound = std::max(src_bound, prod->complete_cycle);
+      }
+    }
+    if (src_bound > now) {
+      u.until = src_bound;
+      pin(u, e);
+      continue;
+    }
+
+    if (e.pop_queue != nullptr) {
       const auto* front = e.pop_queue->front_ready(now);
       if (front == nullptr) {
-        ps.order_blocked = true;
-        if (is_head) {
+        ps->order_blocked = true;
+        if (u.seq == head_seq) {
           ++stats_.head_pop_empty_stalls;
           e.pop_queue->note_empty_stall();
           // Waiting on the SDQ means the access side is blocked on a
           // computation-side value: the paper's loss-of-decoupling event.
           if (e.pop_queue == queues_.sdq) ++stats_.lod_stalls;
+          if (e.pop_queue->head() == nullptr) {
+            // Truly empty: park the head; the per-pass charge at the top
+            // of do_issue replaces this visit's charge until a push.
+            head_sleep_seq_ = u.seq;
+            head_sleep_slot_ = queue_slot(e.pop_queue);
+            sleeper_gen_[head_sleep_slot_] = e.pop_queue->stats().pushes;
+            ++sleeping_;
+          } else {
+            active_[keep++] = u;  // token in flight: recheck every cycle
+            rescan = now + 1;
+          }
+        } else if (const auto* h = e.pop_queue->head();
+                   h != nullptr && h->ready > now) {
+          // Non-head consumer waiting on a token already in flight: no
+          // token readies before the head token (FIFO push order makes
+          // ready times monotone), and a blocked non-head visit's only
+          // side effect — order_blocked — is re-derived by any younger
+          // same-queue consumer from the same not-ready head.
+          u.until = h->ready;
+          pin(u, e);
+        } else {
+          // Truly empty queue: sleep until it sees a push.
+          const int s = queue_slot(e.pop_queue);
+          queue_sleepers_[s].push_back({u.seq, 0});
+          sleeper_gen_[s] = e.pop_queue->stats().pushes;
+          ++sleeping_;
         }
         continue;
       }
-      ++ps.pops;
+      ++ps->pops;
     }
 
     // Memory disambiguation: a load may not pass an older overlapping
     // store that has not yet written (8-byte granularity; addresses are
     // exact, from the trace).
-    if (e.is_load && cfg_.has_lsu) {
-      bool wait = false;
-      bool forward = false;
-      for (const auto& older : window_) {
-        if (older.seq >= e.seq) break;
-        if (!older.is_store) continue;
-        const auto a0 = older.op.addr & ~7ull;
-        const auto a1 = e.op.addr & ~7ull;
-        if (a0 != a1) continue;
-        if (!completed(older, now)) {
-          wait = true;
-          break;
+    if (e.so.is_load && cfg_.has_lsu && !e.no_conflict) {
+      const auto d = check_older_stores(store_line(e.op.addr), e.seq, now);
+      if (d.wait) {
+        // Safe to pin only for entries with no pop role (real loads never
+        // have one): a popping entry's visit consumes per-cycle queue-read
+        // budget even when it ends blocked, which a skip would not replay.
+        if (e.pop_queue == nullptr) {
+          u.until = d.until;
+          pin(u, e);
+        } else {
+          active_[keep++] = u;
+          rescan = now + 1;
         }
-        forward = true;  // most recent older overlapping store wins
-      }
-      if (wait) continue;
-      e.forwarded = forward;
-    }
-
-    // Fire-and-forget prefetch loads draw from a finite prefetch buffer.
-    if (e.is_load && cfg_.prefetch_only &&
-        !e.op.inst->ann.cmas_value_live) {
-      std::erase_if(prefetch_fills_,
-                    [now](std::uint64_t t) { return t <= now; });
-      if (prefetch_fills_.size() >=
-          static_cast<std::size_t>(cfg_.prefetch_buffer))
         continue;
+      }
+      e.forwarded = d.forward;
     }
 
-    // Functional unit / memory port availability.
-    const OpClass cls = e.op.inst->info().cls;
-    FuPool* pool = pool_for(cls);
+    // Fire-and-forget prefetch loads draw from a finite prefetch buffer;
+    // a full buffer frees no slot before its earliest in-flight fill
+    // lands (CMP entries carry no queue roles, so the pin is
+    // side-effect-free).
+    if (e.so.is_load && cfg_.prefetch_only && !e.so.value_live) {
+      prune_prefetch_fills(now);
+      if (prefetch_fills_.size() >=
+          static_cast<std::size_t>(cfg_.prefetch_buffer)) {
+        if (e.pop_queue == nullptr && !prefetch_fills_.empty()) {
+          u.until = prefetch_fills_.front();
+          pin(u, e);
+        } else {
+          active_[keep++] = u;
+          rescan = now + 1;
+        }
+        continue;
+      }
+    }
+
+    // Functional unit / memory port availability.  An exhausted pool
+    // frees no unit before its earliest release, and a failed-acquire
+    // visit has no side effects — unless the entry popped a token of
+    // per-cycle queue-read budget above, which a pinned skip would not
+    // replay; those stay active.
+    FuPool* pool = pool_ptr(e.so.pool);
     if (e.forwarded) pool = nullptr;  // store-to-load forward: no cache port
-    if (pool != nullptr) {
-      const bool unpipelined =
-          cls == OpClass::IntDiv || cls == OpClass::FpDiv;
-      const int busy = unpipelined ? e.op.inst->info().latency : 1;
-      if (!pool->acquire(now, busy)) continue;
+    if (pool != nullptr && !pool->acquire(now, e.so.busy)) {
+      const auto release = pool->next_release(now);
+      pool_until[static_cast<std::size_t>(e.so.pool)] =
+          release != kNoEvent ? release : now + 1;
+      if (e.pop_queue == nullptr && release != kNoEvent) {
+        u.until = release;
+        pin(u, e);
+      } else {
+        active_[keep++] = u;
+        rescan = now + 1;
+      }
+      continue;
     }
 
     issue_one(e, now);
     ++issued;
   }
+  // Entries past the issue-width cutoff stay queued untouched (and must
+  // be revisited next cycle).
+  if (i < active_.size()) {
+    rescan = now + 1;
+    std::copy(active_.begin() + static_cast<std::ptrdiff_t>(i),
+              active_.end(),
+              active_.begin() + static_cast<std::ptrdiff_t>(keep));
+    keep += active_.size() - i;
+  }
+  active_.resize(keep);
+  active_rescan_ = rescan;
+
+  // Advance the oldest-unissued cursor past entries that issued this
+  // pass.  A new head gets its pin cleared immediately: its
+  // blocked-on-queue wait must charge stall counters every cycle from
+  // now on, which a pinned skip would silently swallow.  (Clearing a
+  // source/FU/store pin on the head too is harmless — its next visit
+  // just re-pins it.)
+  if (oldest_unissued_ != 0 &&
+      find_by_seq(oldest_unissued_)->issued) {
+    auto idx = oldest_unissued_ - base_seq_;
+    while (idx < window_count_ && window_at(idx).issued) ++idx;
+    oldest_unissued_ = idx < window_count_ ? base_seq_ + idx : 0;
+    if (oldest_unissued_ != 0) {
+      // The head is the globally oldest unissued entry, so if active it
+      // is the front element.
+      if (!active_.empty() && active_.front().seq == oldest_unissued_) {
+        active_.front().until = 0;
+        active_rescan_ = 0;
+      } else {
+        bool found = false;
+        for (std::size_t p = 0; p < pinned_.size(); ++p) {
+          if (pinned_[p].seq != oldest_unissued_) continue;
+          Unissued head = pinned_[p];
+          head.until = 0;
+          pinned_[p] = pinned_.back();
+          pinned_.pop_back();
+          std::make_heap(pinned_.begin(), pinned_.end(), until_after);
+          active_.insert(active_.begin(), head);
+          active_rescan_ = 0;
+          found = true;
+          break;
+        }
+        for (int s = 0; s < 3 && !found; ++s) {
+          auto& sl = queue_sleepers_[s];
+          for (std::size_t p = 0; p < sl.size(); ++p) {
+            if (sl[p].seq != oldest_unissued_) continue;
+            sl.erase(sl.begin() + static_cast<std::ptrdiff_t>(p));
+            // Was asleep as a non-head on an empty queue; as the head it
+            // keeps sleeping but gets the per-pass stall charge.  This
+            // matches the reference walk, which starts charging the new
+            // head on the pass after the old head issued.
+            head_sleep_seq_ = oldest_unissued_;
+            head_sleep_slot_ = s;
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+  }
 }
 
 void OoOCore::issue_one(Entry& e, std::uint64_t now) {
-  const isa::Instruction& inst = *e.op.inst;
-  const OpClass cls = inst.info().cls;
-
-  if (e.needs_pop) {
-    if (inst.op == Opcode::BEOD) {
+  if (e.pop_queue != nullptr) {
+    if (e.so.is_beod) {
       // BEOD only consumes the head token when it is an EOD marker; a data
       // value stays queued for the next POPLDQ (paper §3.1).
       const auto* front = e.pop_queue->front_ready(now);
@@ -383,7 +721,7 @@ void OoOCore::issue_one(Entry& e, std::uint64_t now) {
     }
   }
 
-  if (e.is_load) {
+  if (e.so.is_load) {
     ++stats_.loads;
     if (e.forwarded) {
       ++stats_.forwarded_loads;
@@ -391,37 +729,40 @@ void OoOCore::issue_one(Entry& e, std::uint64_t now) {
     } else {
       const auto type = cfg_.prefetch_only ? mem::AccessType::Prefetch
                                            : mem::AccessType::Read;
-      const auto group = cfg_.prefetch_only ? inst.ann.cmas_group
-                                            : std::int16_t{-1};
+      const auto group =
+          cfg_.prefetch_only ? e.so.cmas_group : std::int16_t{-1};
       const auto res =
           memsys_->access(e.op.addr, type, now, e.op.static_idx, group);
-      if (cfg_.prefetch_only && !inst.ann.cmas_value_live) {
+      if (cfg_.prefetch_only && !e.so.value_live) {
         // Fire-and-forget prefetch: nothing in the slice reads this value
         // (compiler-proven), so the CMP retires it immediately while the
         // fill completes in the background.  Pointer-chase slices, whose
         // loads feed later slice instructions, keep the full latency.
         e.complete_cycle = now + 1;
-        prefetch_fills_.push_back(
-            now + static_cast<std::uint64_t>(std::max(1, res.latency)));
+        push_heap_value(prefetch_fills_,
+                        now + static_cast<std::uint64_t>(
+                                  std::max(1, res.latency)));
       } else {
         e.complete_cycle = now + static_cast<std::uint64_t>(
                                      std::max(1, res.latency));
       }
     }
-  } else if (e.is_store) {
+  } else if (e.so.is_store) {
     ++stats_.stores;
     // Stores drain into the write buffer; the cache access happens now.
     memsys_->access(e.op.addr, mem::AccessType::Write, now, e.op.static_idx);
     e.complete_cycle = now + 1;
-  } else if (cls == OpClass::Prefetch) {
+  } else if (e.so.is_prefetch) {
     memsys_->access(e.op.addr, mem::AccessType::Prefetch, now,
                     e.op.static_idx);
     e.complete_cycle = now + 1;
   } else {
-    e.complete_cycle = now + static_cast<std::uint64_t>(inst.info().latency);
+    e.complete_cycle = now + static_cast<std::uint64_t>(e.so.latency);
   }
 
   e.issued = true;
+  push_heap_value(completion_events_, e.complete_cycle);
+  next_completion_ = std::min(next_completion_, e.complete_cycle);
   progress_ = true;
 
   if (e.op.mispredicted)
@@ -431,96 +772,260 @@ void OoOCore::issue_one(Entry& e, std::uint64_t now) {
 void OoOCore::do_dispatch(std::uint64_t now) {
   (void)now;
   int dispatched = 0;
-  while (!input_.empty() && dispatched < cfg_.dispatch_width) {
-    if (window_.size() >= static_cast<std::size_t>(cfg_.window)) {
+  while (input_count_ != 0 && dispatched < cfg_.dispatch_width) {
+    if (window_count_ >= static_cast<std::size_t>(cfg_.window)) {
       ++stats_.window_full_stalls;
       break;
     }
-    const DynOp& op = input_.front();
-    const isa::Instruction& inst = *op.inst;
-    const isa::OpInfo& info = inst.info();
-    const OpClass cls = info.cls;
+    const DynOp& op = input_front();
+    StaticOp scratch;
+    const StaticOp& so =
+        table_ != nullptr ? (*table_)[op.static_idx]
+                          : (scratch = decode_static_op(*op.inst), scratch);
 
-    const bool is_load = cls == OpClass::Load;
-    const bool is_store = cls == OpClass::Store;
-    if ((is_load || is_store || cls == OpClass::Prefetch) && !cfg_.has_lsu)
+    if (so.is_mem && !cfg_.has_lsu)
       throw std::logic_error(cfg_.name +
                              ": memory op routed to core without LSU");
-    if (is_store && cfg_.prefetch_only)
+    if (so.is_store && cfg_.prefetch_only)
       throw std::logic_error(cfg_.name + ": store in a CMAS slice");
-    if ((info.is_fp_dst || info.is_fp_src) && cfg_.fp_alu == 0 &&
-        isa::is_fp_compute(inst.op))
+    if (so.fp_routed && cfg_.fp_alu == 0)
       throw std::logic_error(cfg_.name + ": FP op routed to non-FP core");
-    if ((is_load || is_store) && mem_ops_in_window_ >= cfg_.lsq) break;
+    if ((so.is_load || so.is_store) && mem_ops_in_window_ >= cfg_.lsq) {
+      ++stats_.lsq_full_stalls;
+      break;
+    }
 
-    Entry e;
+    // Every field is written explicitly (no Entry{} reset): the slot is
+    // reused ring memory, and a full-struct clear followed by the so/op
+    // copies would double-write most of it on the per-instruction path.
+    Entry& e = slots_[(window_head_ + window_count_) & window_mask_];
+    e.so = so;
     e.op = op;
     e.seq = next_seq_++;
-    e.is_load = is_load;
-    e.is_store = is_store;
+    e.complete_cycle = 0;
+    e.pop_queue = nullptr;
+    e.push_queue = nullptr;
+    e.push_eod = false;
+    e.pushed = false;
+    e.issued = false;
+    e.forwarded = false;
+    e.pin_until = 0;
+    e.no_conflict = so.is_load && cfg_.has_lsu &&
+                    (stores_by_line_.empty() ||
+                     !stores_by_line_.contains(store_line(op.addr)));
 
     // Register dependences.
+    e.src_seq[0] = e.src_seq[1] = 0;
     int nsrc = 0;
-    if (info.reads_src1 && inst.src1.valid())
-      e.src_seq[nsrc++] = last_writer_[inst.src1.flat()];
-    if (info.reads_src2 && inst.src2.valid())
-      e.src_seq[nsrc++] = last_writer_[inst.src2.flat()];
+    if (so.src1 >= 0) e.src_seq[nsrc++] = last_writer_[so.src1];
+    if (so.src2 >= 0) e.src_seq[nsrc++] = last_writer_[so.src2];
 
     // Queue roles.  A prefetch-only core (the CMP) executes copies of
     // Access Stream instructions speculatively; it must never touch the
     // architectural queues, so all queue roles are ignored there.
-    if (!cfg_.prefetch_only) queue_roles(inst, e);
+    if (!cfg_.prefetch_only) {
+      if (so.pop_role != QueueRole::None) {
+        e.pop_queue = queue_ptr(so.pop_role);
+        if (e.pop_queue == nullptr)
+          throw std::logic_error(cfg_.name +
+                                 ": queue pop with no queue bound");
+      }
+      if (so.push_role != QueueRole::None) {
+        e.push_queue = queue_ptr(so.push_role);
+        e.push_eod = so.push_eod;
+        // An opcode-driven push with no bound queue degrades to a plain
+        // op (bare-core tests); a compiler-annotated push losing its
+        // queue would silently drop a communication — fail loudly.
+        if (e.push_queue == nullptr && so.push_from_ann)
+          throw std::logic_error(cfg_.name +
+                                 ": queue push with no queue bound");
+      }
+    }
 
     // Rename: this entry becomes the live writer of its destination.
-    if (info.writes_dst && inst.dst.valid() &&
-        !(inst.dst.is_int() && inst.dst.idx == 0))
-      last_writer_[inst.dst.flat()] = e.seq;
+    if (so.dst >= 0) last_writer_[so.dst] = e.seq;
 
-    if (is_load || is_store) ++mem_ops_in_window_;
-    window_.push_back(e);
-    input_.pop_front();
+    if (so.is_load || so.is_store) ++mem_ops_in_window_;
+    if (so.is_store)
+      stores_by_line_[store_line(op.addr)].push_back(e.seq);
+    if (e.push_queue != nullptr)
+      pending_push_[queue_slot(e.push_queue)].push_back(e.seq);
+    active_.push_back({e.seq, 0});
+    active_rescan_ = 0;
+    if (oldest_unissued_ == 0) oldest_unissued_ = e.seq;
+    ++window_count_;
+    input_pop();
     ++dispatched;
     progress_ = true;
   }
 }
 
-void OoOCore::queue_roles(const isa::Instruction& inst, Entry& e) {
-    switch (inst.op) {
-      case Opcode::POPLDQ: case Opcode::POPLDQF: case Opcode::BEOD:
-        e.needs_pop = true;
-        e.pop_queue = queues_.ldq;
-        break;
-      case Opcode::POPSDQ: case Opcode::POPSDQF:
-        e.needs_pop = true;
-        e.pop_queue = queues_.sdq;
-        break;
-      case Opcode::GETSCQ:
-        e.needs_pop = true;
-        e.pop_queue = queues_.scq;
-        break;
-      case Opcode::PUSHLDQ: case Opcode::PUSHLDQF:
-        e.push_queue = queues_.ldq;
-        break;
-      case Opcode::PUSHSDQ: case Opcode::PUSHSDQF:
-        e.push_queue = queues_.sdq;
-        break;
-      case Opcode::PUTEOD:
-        e.push_queue = queues_.ldq;
-        e.push_eod = true;
-        break;
-      case Opcode::PUTSCQ:
-        e.push_queue = queues_.scq;
-        break;
-      default: break;
+// Brute-force recomputation of every incremental frontier; throws on any
+// disagreement with the maintained state.  Deliberately written as the
+// seed's full-window scans so the two derivations stay independent.
+void OoOCore::debug_check_invariants(std::uint64_t now) const {
+  const auto fail = [this](const std::string& what) {
+    throw std::logic_error(cfg_.name + ": invariant violated: " + what);
+  };
+
+  // Completion frontier: pruned heap top == min future completion.
+  std::uint64_t want_min = kNoEvent;
+  for (std::size_t i = 0; i < window_count_; ++i) {
+    const Entry& e = window_at(i);
+    if (e.issued && e.complete_cycle > now && e.complete_cycle < want_min)
+      want_min = e.complete_cycle;
+  }
+  // Emulate a query: a cached value <= now is stale and resolves through
+  // a prune; a future cached value must BE the frontier.
+  std::uint64_t got_min = next_completion_;
+  if (got_min != kNoEvent && got_min <= now) {
+    prune_heap(completion_events_, now);
+    got_min =
+        completion_events_.empty() ? kNoEvent : completion_events_.front();
+  }
+  if (want_min != got_min) fail("completion frontier mismatch");
+  if (!std::is_heap(completion_events_.begin(), completion_events_.end(),
+                    std::greater<>{}))
+    fail("completion events not a min-heap");
+
+  // Unissued population: active_ (ascending) plus pinned_ must be exactly
+  // the unissued window entries; the oldest-unissued cursor must point at
+  // the first of them.
+  std::vector<std::uint64_t> want_unissued;
+  for (std::size_t i = 0; i < window_count_; ++i)
+    if (!window_at(i).issued) want_unissued.push_back(window_at(i).seq);
+  std::vector<std::uint64_t> got_unissued;
+  for (const auto& u : active_) got_unissued.push_back(u.seq);
+  if (!std::is_sorted(got_unissued.begin(), got_unissued.end()))
+    fail("active list out of program order");
+  for (const auto& u : pinned_) got_unissued.push_back(u.seq);
+  std::size_t want_sleeping = head_sleep_seq_ != 0 ? 1 : 0;
+  for (const auto& sl : queue_sleepers_) {
+    want_sleeping += sl.size();
+    for (const auto& u : sl) got_unissued.push_back(u.seq);
+  }
+  if (head_sleep_seq_ != 0) got_unissued.push_back(head_sleep_seq_);
+  if (want_sleeping != sleeping_) fail("sleeper census mismatch");
+  std::sort(got_unissued.begin(), got_unissued.end());
+  if (want_unissued != got_unissued) fail("unissued population mismatch");
+  if (oldest_unissued_ !=
+      (want_unissued.empty() ? 0 : want_unissued.front()))
+    fail("oldest-unissued cursor mismatch");
+  const auto until_after = [](const Unissued& a, const Unissued& b) {
+    return a.until > b.until;
+  };
+  if (!std::is_heap(pinned_.begin(), pinned_.end(), until_after))
+    fail("pinned entries not a min-heap by until");
+
+  // Every pin must be justified: the entry provably cannot issue at
+  // until - 1 for one of the reasons do_issue pins on, and the reason
+  // must be one whose skipped visits are side-effect-free for this
+  // entry.  Active entries carry short pins (skipped by compare), the
+  // heap carries long ones; the justification is the same.
+  std::vector<Unissued> all_pins;
+  for (const auto& u : active_)
+    if (u.until > now) all_pins.push_back(u);
+  for (const auto& u : pinned_) {
+    if (u.until <= now) fail("expired pin not merged");
+    all_pins.push_back(u);
+  }
+  for (const auto& u : all_pins) {
+    const Entry& e = *find_by_seq(u.seq);
+    const std::uint64_t at = u.until - 1;
+    const bool src_block = !sources_ready(e, at);
+    const bool queue_block = e.pop_queue != nullptr &&
+                             u.seq != oldest_unissued_ &&
+                             e.pop_queue->front_ready(at) == nullptr &&
+                             !e.pop_queue->empty();
+    if (e.pop_queue != nullptr && !src_block && !queue_block)
+      fail("pinned pop entry without silent justification");
+    const bool dis_block =
+        e.so.is_load && cfg_.has_lsu && e.pop_queue == nullptr &&
+        check_older_stores(store_line(e.op.addr), e.seq, at).wait;
+    const bool pf_block = [&] {
+      if (!e.so.is_load || !cfg_.prefetch_only || e.so.value_live)
+        return false;
+      std::size_t held = 0;
+      for (const auto fill : prefetch_fills_)
+        if (fill > at) ++held;
+      return held >= static_cast<std::size_t>(cfg_.prefetch_buffer);
+    }();
+    const FuPool* pool = pool_ptr(e.so.pool);
+    const bool fu_block = e.pop_queue == nullptr && pool != nullptr &&
+                          pool->exhausted_at(at);
+    if (!src_block && !queue_block && !dis_block && !pf_block && !fu_block)
+      fail("pin unjustified");
+  }
+
+  // Sleepers must be pop entries of the queue they sleep on, and while
+  // the queue's push generation is unchanged it must hold no token at
+  // all (no push happened, pops cannot create tokens).  The sleeping
+  // head must be the program-order head with its sources ready —
+  // completion times only recede, so the readiness its parking visit
+  // proved still holds and the per-pass charge stays exact.
+  for (int s = 0; s < 3; ++s) {
+    const TimedFifo* fq = queue_from_slot(s);
+    const bool head_here = head_sleep_seq_ != 0 && head_sleep_slot_ == s;
+    if (queue_sleepers_[s].empty() && !head_here) continue;
+    if (fq == nullptr) fail("sleeper on an unbound queue");
+    if (fq->stats().pushes == sleeper_gen_[s] && fq->head() != nullptr)
+      fail("sleeper on a queue that holds a token");
+    for (const auto& u : queue_sleepers_[s]) {
+      const Entry* e = find_by_seq(u.seq);
+      if (e == nullptr || e->pop_queue != fq)
+        fail("sleeper is not a pop of its queue");
+      if (u.seq == oldest_unissued_)
+        fail("program-order head parked as a plain sleeper");
     }
-    // Annotation-driven pushes (compiler-separated binaries).
-    if (inst.ann.push_ldq) e.push_queue = queues_.ldq;
-    if (inst.ann.push_sdq) e.push_queue = queues_.sdq;
-    if (e.needs_pop && e.pop_queue == nullptr)
-      throw std::logic_error(cfg_.name + ": queue pop with no queue bound");
-    if (e.push_queue == nullptr &&
-        (inst.ann.push_ldq || inst.ann.push_sdq))
-      throw std::logic_error(cfg_.name + ": queue push with no queue bound");
+  }
+  if (head_sleep_seq_ != 0) {
+    if (head_sleep_seq_ != oldest_unissued_)
+      fail("sleeping head is not the oldest unissued entry");
+    const Entry* e = find_by_seq(head_sleep_seq_);
+    if (e == nullptr ||
+        e->pop_queue != queue_from_slot(head_sleep_slot_))
+      fail("sleeping head is not a pop of its queue");
+    if (!sources_ready(*e, now)) fail("sleeping head with unready sources");
+  }
+
+  // Per-queue pending-push cursors.
+  std::deque<std::uint64_t> want_pend[3];
+  for (std::size_t i = 0; i < window_count_; ++i) {
+    const Entry& e = window_at(i);
+    if (e.push_queue != nullptr && !e.pushed)
+      want_pend[queue_slot(e.push_queue)].push_back(e.seq);
+  }
+  for (int s = 0; s < 3; ++s)
+    if (want_pend[s] != pending_push_[s]) fail("pending-push cursor mismatch");
+
+  // Store disambiguation map: per line, the in-window stores, ascending.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> want_stores;
+  for (std::size_t i = 0; i < window_count_; ++i) {
+    const Entry& e = window_at(i);
+    if (e.so.is_store) want_stores[store_line(e.op.addr)].push_back(e.seq);
+  }
+  if (want_stores != stores_by_line_) fail("store map mismatch");
+
+  // no_conflict is a lifetime promise: such a load must never have an
+  // older in-window store on its line (so it can never wait or forward).
+  for (std::size_t i = 0; i < window_count_; ++i) {
+    const Entry& e = window_at(i);
+    if (!e.no_conflict || !e.so.is_load) continue;
+    const auto it = want_stores.find(store_line(e.op.addr));
+    if (it != want_stores.end() && it->second.front() < e.seq)
+      fail("no_conflict load has an older same-line store");
+  }
+
+  // Memory-op census.
+  int want_mem = 0;
+  for (std::size_t i = 0; i < window_count_; ++i)
+    if (window_at(i).so.is_load || window_at(i).so.is_store) ++want_mem;
+  if (want_mem != mem_ops_in_window_) fail("mem-op census mismatch");
+
+  // Prefetch-fill heap shape (occupancy is bounded by construction).
+  if (!std::is_heap(prefetch_fills_.begin(), prefetch_fills_.end(),
+                    std::greater<>{}))
+    fail("prefetch fills not a min-heap");
 }
 
 }  // namespace hidisc::uarch

@@ -11,17 +11,27 @@
 // memory ports and architectural queues allow, and commits in order.
 // Producer-consumer timing between cores flows exclusively through
 // `TimedFifo`s, exactly like the paper's LDQ/SDQ/SCQ.
+//
+// Per-step cost scales with what changed, not with the window size: the
+// core keeps incremental frontiers (a completion-event min-heap, per-queue
+// pending-write cursors, the ordered list of unissued entries, and a
+// per-8-byte-line map of in-window stores) instead of rescanning the whole
+// window each cycle — see docs/MACHINE.md "Hot-path data structures".
+// `debug_check_invariants` recomputes every frontier by brute force and
+// throws on disagreement; the randomized scheduler tests call it each step.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "diag/deadlock.hpp"
 #include "mem/memory_system.hpp"
 #include "uarch/dyn_op.hpp"
 #include "uarch/fu_pool.hpp"
+#include "uarch/static_op.hpp"
 #include "uarch/timed_fifo.hpp"
 
 namespace hidisc::uarch {
@@ -59,6 +69,7 @@ struct CoreStats {
   std::uint64_t stores = 0;
   std::uint64_t forwarded_loads = 0;
   std::uint64_t window_full_stalls = 0;
+  std::uint64_t lsq_full_stalls = 0;  // dispatch blocked: LSQ share exhausted
   std::uint64_t queue_full_commit_stalls = 0;
   std::uint64_t head_pop_empty_stalls = 0;  // oldest op waiting on empty FIFO
   std::uint64_t lod_stalls = 0;  // oldest op waiting on SDQ: loss of decoupling
@@ -81,14 +92,23 @@ class OoOCore {
     TimedFifo* scq = nullptr;
   };
 
-  OoOCore(const CoreConfig& cfg, mem::MemorySystem* memsys, Queues queues);
+  // `table`, when given, must cover every static_idx the core will see and
+  // outlive the core; without it every dispatch decodes its instruction on
+  // the fly (unit-test path — identical semantics, just slower).
+  OoOCore(const CoreConfig& cfg, mem::MemorySystem* memsys, Queues queues,
+          const StaticOpTable* table = nullptr);
 
   // Front-end interface -----------------------------------------------------
   [[nodiscard]] bool input_full() const noexcept {
-    return input_.size() >= static_cast<std::size_t>(cfg_.input_queue);
+    return input_count_ >= static_cast<std::size_t>(cfg_.input_queue);
   }
   // False (and no effect) when the input queue is full.
-  bool enqueue(const DynOp& op);
+  bool enqueue(const DynOp& op) {
+    if (input_full()) return false;
+    input_slots_[(input_head_ + input_count_) & input_mask_] = op;
+    ++input_count_;
+    return true;
+  }
 
   // Advances one cycle: commit, then issue, then dispatch.  Returns true
   // when the core changed state (committed, pushed, issued or dispatched
@@ -97,7 +117,7 @@ class OoOCore {
 
   // True when no work remains anywhere in the core.
   [[nodiscard]] bool drained() const noexcept {
-    return input_.empty() && window_.empty();
+    return input_count_ == 0 && window_count_ == 0;
   }
 
   // Event-skip scheduler interface --------------------------------------
@@ -122,14 +142,18 @@ class OoOCore {
 
   // Mispredicted branches that reached resolution since the last call.
   std::vector<ResolvedBranch> take_resolved_branches();
+  // Cheap guard so the machine only pays the take/move when one resolved.
+  [[nodiscard]] bool has_resolved() const noexcept {
+    return !resolved_.empty();
+  }
 
   [[nodiscard]] const CoreConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t window_occupancy() const noexcept {
-    return window_.size();
+    return window_count_;
   }
   [[nodiscard]] std::size_t input_occupancy() const noexcept {
-    return input_.size();
+    return input_count_;
   }
 
   // Forensics: why the oldest op in the core cannot move at `now`.
@@ -145,30 +169,77 @@ class OoOCore {
   };
   [[nodiscard]] StallProbe probe_oldest_stall(std::uint64_t now) const;
 
+  // Recomputes every incremental frontier (completion min, unissued list,
+  // per-queue push cursors, store map, mem-op count) by brute-force window
+  // scan and throws std::logic_error on any disagreement.  Test-only: the
+  // randomized invariant tests call it after every tick.
+  void debug_check_invariants(std::uint64_t now) const;
+
   void reset();
 
  private:
+  // One window (RUU) entry.  Hot issue/complete fields first; the decoded
+  // StaticOp is embedded by value so the issue path never chases
+  // `op.inst->info()`.
   struct Entry {
-    DynOp op;
+    StaticOp so;
     std::uint64_t seq = 0;
     // Producer tracking: seq of in-window producer (0 = value already
     // available) per source operand.
     std::uint64_t src_seq[2] = {0, 0};
-    bool needs_pop = false;
-    TimedFifo* pop_queue = nullptr;
+    std::uint64_t complete_cycle = 0;
+    TimedFifo* pop_queue = nullptr;   // null = no queue pop
     TimedFifo* push_queue = nullptr;  // queue written at completion
     bool push_eod = false;
     bool pushed = false;  // queue write already performed
-    bool is_load = false;
-    bool is_store = false;
-    bool forwarded = false;   // load satisfied by an older in-window store
     bool issued = false;
-    std::uint64_t complete_cycle = 0;
+    bool forwarded = false;  // load satisfied by an older in-window store
+    // Proven lower bound on this entry's issue cycle, recorded whenever
+    // the scheduler pins it (0 = no proof).  Pin proofs are
+    // time-invariant facts ("no source completes before T", "no unit
+    // frees before R"), so a stale value is still a valid bound.
+    // Consumers sharpen their own source pins with it: a producer that
+    // cannot issue before T cannot complete before T + 1.
+    std::uint64_t pin_until = 0;
+    // Load dispatched with no older in-window store on its line: dispatch
+    // is in-order, so later stores are younger and the disambiguation
+    // walk can never make it wait or forward — skip the probe for life.
+    bool no_conflict = false;
+    DynOp op;
   };
 
-  [[nodiscard]] const Entry* find_by_seq(std::uint64_t seq) const;
-  [[nodiscard]] bool sources_ready(const Entry& e, std::uint64_t now) const;
-  [[nodiscard]] bool completed(const Entry& e, std::uint64_t now) const {
+  // The window lives in a power-of-two ring (`slots_`), so resolving a seq
+  // to its entry — the single hottest operation of the issue path — is two
+  // adds and a mask, not a deque block walk.
+  [[nodiscard]] const Entry* find_by_seq(std::uint64_t seq) const noexcept {
+    const auto idx = seq - base_seq_;  // wraps huge for committed seqs
+    if (idx >= window_count_) return nullptr;
+    return &slots_[(window_head_ + idx) & window_mask_];
+  }
+  [[nodiscard]] Entry* find_by_seq(std::uint64_t seq) noexcept {
+    const auto idx = seq - base_seq_;
+    if (idx >= window_count_) return nullptr;
+    return &slots_[(window_head_ + idx) & window_mask_];
+  }
+  // Entry at window position `i` (0 = oldest).
+  [[nodiscard]] const Entry& window_at(std::size_t i) const noexcept {
+    return slots_[(window_head_ + i) & window_mask_];
+  }
+  [[nodiscard]] Entry& window_at(std::size_t i) noexcept {
+    return slots_[(window_head_ + i) & window_mask_];
+  }
+  [[nodiscard]] bool sources_ready(const Entry& e, std::uint64_t now) const
+      noexcept {
+    for (const auto seq : e.src_seq) {
+      if (seq == 0) continue;
+      const Entry* p = find_by_seq(seq);
+      if (p == nullptr) continue;  // producer committed: value architectural
+      if (!completed(*p, now)) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool completed(const Entry& e, std::uint64_t now) const
+      noexcept {
     return e.issued && e.complete_cycle <= now;
   }
   void do_commit(std::uint64_t now);
@@ -176,17 +247,60 @@ class OoOCore {
   void do_issue(std::uint64_t now);
   void do_dispatch(std::uint64_t now);
   void issue_one(Entry& e, std::uint64_t now);
-  void queue_roles(const isa::Instruction& inst, Entry& e);
-  [[nodiscard]] FuPool* pool_for(isa::OpClass cls);
+  [[nodiscard]] FuPool* pool_ptr(PoolKind kind);
+  [[nodiscard]] const FuPool* pool_ptr(PoolKind kind) const noexcept {
+    return const_cast<OoOCore*>(this)->pool_ptr(kind);
+  }
+  [[nodiscard]] TimedFifo* queue_ptr(QueueRole role) const noexcept;
+  // Slot index for the per-queue pending-push cursors; mirrors the
+  // historical ldq/sdq/else bucketing of do_pushes.
+  [[nodiscard]] int queue_slot(const TimedFifo* q) const noexcept {
+    return q == queues_.ldq ? 0 : q == queues_.sdq ? 1 : 2;
+  }
+  // Memory disambiguation against the per-line store map: whether the load
+  // `seq` at `line` must wait for an older incomplete store, and whether a
+  // completed older store forwards to it.
+  struct Disambiguation {
+    bool wait = false;
+    bool forward = false;
+    // When waiting: earliest cycle the blocking store can have completed
+    // (its fixed complete_cycle, or now + 2 while it is still unissued).
+    std::uint64_t until = 0;
+  };
+  [[nodiscard]] Disambiguation check_older_stores(std::uint64_t line,
+                                                  std::uint64_t seq,
+                                                  std::uint64_t now) const;
+  // Drops prefetch-fill slots whose fills have landed by `now`.
+  void prune_prefetch_fills(std::uint64_t now) const;
 
   CoreConfig cfg_;
   mem::MemorySystem* memsys_;
   Queues queues_;
+  const StaticOpTable* table_;
 
-  std::deque<DynOp> input_;
-  std::deque<Entry> window_;
+  // Input queue as a fixed ring (size = cfg_.input_queue rounded up to a
+  // power of two, allocated once) — enqueue/front/pop are index math, no
+  // deque block management on the per-instruction path.
+  std::vector<DynOp> input_slots_;
+  std::size_t input_head_ = 0;
+  std::size_t input_count_ = 0;
+  std::size_t input_mask_ = 0;
+  [[nodiscard]] const DynOp& input_front() const noexcept {
+    return input_slots_[input_head_];
+  }
+  void input_pop() noexcept {
+    input_head_ = (input_head_ + 1) & input_mask_;
+    --input_count_;
+  }
+  // Scheduling window as a ring over `slots_` (size = cfg_.window rounded
+  // up to a power of two, allocated once): front at window_head_,
+  // window_count_ live entries, seqs contiguous from base_seq_.
+  std::vector<Entry> slots_;
+  std::size_t window_head_ = 0;
+  std::size_t window_count_ = 0;
+  std::size_t window_mask_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t base_seq_ = 1;  // seq of window_.front()
+  std::uint64_t base_seq_ = 1;  // seq of the oldest window entry
   int mem_ops_in_window_ = 0;
 
   // Per architectural register: seq of the most recent in-flight writer
@@ -194,9 +308,75 @@ class OoOCore {
   std::vector<std::uint64_t> last_writer_;
 
   FuPool int_alu_, int_muldiv_, fp_alu_, fp_muldiv_, mem_ports_;
+
+  // Incremental frontiers (all invariants in docs/MACHINE.md) ------------
+  //
+  // Min-heap of complete_cycle over issued entries; stale tops (already
+  // reached, possibly committed) are lazily pruned, so the pruned top is
+  // exactly min{complete_cycle > now | issued} without a window scan.
+  mutable std::vector<std::uint64_t> completion_events_;
+  // Cache of the heap's pruned top, refreshed only once it falls due —
+  // the scheduler polls next_event_cycle every stalled step, and this
+  // keeps the polls O(1) between completions.  kNoEvent iff the heap
+  // holds no future event; a value <= now is stale and triggers a prune.
+  mutable std::uint64_t next_completion_ = kNoEvent;
+  // Per queue slot: seqs of entries with an unperformed queue write, in
+  // program order.  Front = the oldest write do_pushes must drain next.
+  std::deque<std::uint64_t> pending_push_[3];
+  // Unissued window entries, split by whether the issue scan must look at
+  // them.  `active_` (ascending seq) is walked every cycle; an entry
+  // proven unable to issue before cycle `until` — an incomplete producer
+  // or blocking store with a fixed completion time, a queue head token
+  // with a future ready time, an exhausted FU pool's earliest release, a
+  // full prefetch buffer's earliest fill — moves to the `pinned_`
+  // min-heap (keyed by `until`) and costs nothing until its pin falls
+  // due, at which point it merges back into `active_` in program order.
+  // Pinning is restricted to visits the full gate walk would end with a
+  // side-effect-free `continue` (see do_issue), so the scan split cannot
+  // change any Result bit.
+  struct Unissued {
+    std::uint64_t seq = 0;
+    std::uint64_t until = 0;
+  };
+  std::vector<Unissued> active_;
+  std::vector<Unissued> pinned_;          // min-heap by until
+  std::vector<Unissued> expired_scratch_; // merge staging, reused
+  // Seq of the oldest unissued window entry (0 = none): the only entry
+  // whose blocked-on-empty-queue wait is charged to the stall counters.
+  // Advanced at the end of each issue pass and on dispatch, so it is
+  // fresh whenever account_idle_cycles / probe_oldest_stall read it.
+  std::uint64_t oldest_unissued_ = 0;
+  // Earliest cycle the active walk can do anything: when every active
+  // entry left the last pass carrying a justified future pin, the walk is
+  // provably a no-op until the earliest pin (or a merge, or a dispatch,
+  // which resets this) — do_issue returns without touching the list.
+  std::uint64_t active_rescan_ = 0;
+  // Empty-queue waiters, parked per consumed queue until the queue sees a
+  // push.  The FIFO's cumulative push count doubles as a generation
+  // stamp: a sleeper slot records the count at sleep time, and any
+  // difference at a later pass means at least one push happened, so the
+  // sleepers rejoin `active_` and re-derive their gates.  Sleeping is
+  // only legal when the queue holds no token at all (in-flight tokens
+  // pin on their ready time instead), and — like pins — only for visits
+  // that would end in a side-effect-free keep.  The one charged visit,
+  // the program-order head's empty-queue stall, sleeps separately
+  // (`head_sleep_seq_`) and is charged O(1) at the top of every pass,
+  // which is exactly the per-cycle charge its visit would have made.
+  std::vector<Unissued> queue_sleepers_[3];
+  std::uint64_t sleeper_gen_[3] = {0, 0, 0};
+  std::uint64_t head_sleep_seq_ = 0;  // 0 = head not sleeping
+  int head_sleep_slot_ = 0;
+  std::size_t sleeping_ = 0;  // total parked entries incl. the head
+  [[nodiscard]] TimedFifo* queue_from_slot(int s) const noexcept {
+    return s == 0 ? queues_.ldq : s == 1 ? queues_.sdq : queues_.scq;
+  }
+  // 8-byte line -> seqs of in-window stores to it, ascending.  Loads
+  // disambiguate against their own line's bucket instead of the window.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> stores_by_line_;
   // Completion times of in-flight fire-and-forget prefetch fills
-  // (prefetch-only cores); bounded by cfg_.prefetch_buffer.
-  std::vector<std::uint64_t> prefetch_fills_;
+  // (prefetch-only cores); a min-heap bounded by cfg_.prefetch_buffer.
+  mutable std::vector<std::uint64_t> prefetch_fills_;
+
   CoreStats stats_;
   std::vector<ResolvedBranch> resolved_;
   bool progress_ = false;  // state changed during the current tick

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <stdexcept>
 #include <string>
 
 #include "uarch/event.hpp"
@@ -64,7 +65,11 @@ class TimedFifo {
     return q_.empty() ? nullptr : &q_.front();
   }
 
+  // Popping an empty queue is a core-model bug (consumers must gate on
+  // front_ready); fail loudly instead of reading a dead deque front.
   Entry pop() {
+    if (q_.empty())
+      throw std::logic_error(name_ + ": pop on empty queue");
     Entry e = q_.front();
     q_.pop_front();
     ++stats_.pops;

@@ -239,5 +239,149 @@ TEST_F(NextEventTest, PromiseIsSoundAndStableUnderRandomStimulus) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental-frontier invariants under random stimulus (docs/MACHINE.md,
+// "Hot-path data structures").  After every tick, debug_check_invariants
+// recomputes by brute force what the core maintains incrementally — the
+// completion frontier, the unissued population (active list + pinned heap
+// + queue sleepers), every pin's justification at until-1, the pending-push
+// cursors, the store-disambiguation map and the no_conflict promises — and
+// throws std::logic_error on any disagreement.
+
+TEST_F(NextEventTest, InvariantsHoldUnderRandomAluMemStimulus) {
+  uarch::CoreConfig cfg;
+  cfg.name = "inv";
+  cfg.window = 16;
+  cfg.issue_width = 2;
+  cfg.commit_width = 2;
+  cfg.dispatch_width = 2;
+  cfg.input_queue = 64;
+  cfg.lsq = 8;
+  cfg.int_alu = 2;
+  cfg.int_muldiv = 1;
+  cfg.mem_ports = 1;
+  cfg.has_lsu = true;
+  uarch::OoOCore core(cfg, &memsys_, {});
+
+  // Addresses collide on a handful of 8-byte lines so loads meet older
+  // in-window stores: the store map, disambiguation pins, store-to-load
+  // forwarding and the no_conflict fast path all get exercised.  DIVs
+  // keep the single unpipelined unit saturated (pool-exhausted pins).
+  std::mt19937_64 rng(0xC0FFEEu);
+  const auto rand_addr = [&] { return (rng() % 8) * 8 + (rng() % 8) * 4096; };
+  int fed = 0;
+  std::uint64_t now = 0;
+  const std::uint64_t limit = 1'000'000;
+  while (fed < 400 || !core.drained()) {
+    for (int burst = static_cast<int>(rng() % 3);
+         burst-- > 0 && fed < 400 && !core.input_full(); ++fed) {
+      const int dst = 1 + static_cast<int>(rng() % 8);
+      const int src = 1 + static_cast<int>(rng() % 8);
+      Instruction inst;
+      std::uint64_t addr = 0;
+      switch (rng() % 5) {
+        case 0:  // dependent ALU op
+          inst.op = Opcode::ADD;
+          inst.src2 = ir(static_cast<std::uint8_t>(dst));
+          break;
+        case 1:  // unpipelined divide: hogs the single MUL/DIV unit
+          inst.op = Opcode::DIV;
+          inst.src2 = ir(static_cast<std::uint8_t>(dst));
+          break;
+        case 2:  // long-latency multiply
+          inst.op = Opcode::MUL;
+          inst.src2 = ir(static_cast<std::uint8_t>(dst));
+          break;
+        case 3:  // load, possibly behind an in-window store on its line
+          inst.op = Opcode::LD;
+          addr = rand_addr();
+          break;
+        default:  // store
+          inst.op = Opcode::SD;
+          inst.src2 = ir(static_cast<std::uint8_t>(dst));
+          addr = rand_addr();
+          break;
+      }
+      inst.dst = ir(static_cast<std::uint8_t>(dst));
+      inst.src1 = ir(static_cast<std::uint8_t>(src));
+      ASSERT_TRUE(core.enqueue(op_for(inst, addr)));
+    }
+    core.tick(now);
+    ASSERT_NO_THROW(core.debug_check_invariants(now)) << "cycle " << now;
+    ASSERT_LT(++now, limit) << "core did not drain";
+  }
+  EXPECT_GT(core.stats().committed, 0u);
+  EXPECT_GT(core.stats().forwarded_loads, 0u);  // stimulus really collided
+}
+
+TEST_F(NextEventTest, InvariantsHoldAcrossQueueProducerConsumerPair) {
+  // A producer core feeding an LDQ that a consumer core pops, with the
+  // producer deliberately bursty so the consumer's POPLDQ entries run the
+  // queue dry and park as queue sleepers (woken by push-generation
+  // change), both as the program-order head and behind it.
+  uarch::TimedFifo ldq("LDQ", 4);
+  uarch::CoreConfig pcfg;
+  pcfg.name = "prod";
+  pcfg.window = 8;
+  pcfg.issue_width = 1;
+  pcfg.commit_width = 1;
+  pcfg.dispatch_width = 1;
+  pcfg.input_queue = 128;
+  pcfg.has_lsu = false;
+  pcfg.fp_alu = 0;
+  uarch::CoreConfig ccfg = pcfg;
+  ccfg.name = "cons";
+  ccfg.issue_width = 2;
+  ccfg.dispatch_width = 2;
+  ccfg.commit_width = 2;
+  uarch::OoOCore::Queues qs;
+  qs.ldq = &ldq;
+  uarch::OoOCore prod(pcfg, &memsys_, qs);
+  uarch::OoOCore cons(ccfg, &memsys_, qs);
+
+  std::mt19937_64 rng(0xF1F0u);
+  constexpr int kTokens = 60;
+  // The consumer's whole program is enqueued up front: each POPLDQ is
+  // chased by a dependent ADD so issue pressure stays up while it waits.
+  for (int i = 0; i < kTokens; ++i) {
+    Instruction pop;
+    pop.op = Opcode::POPLDQ;
+    pop.dst = ir(1);
+    ASSERT_TRUE(cons.enqueue(op_for(pop)));
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.dst = ir(2);
+    add.src1 = ir(1);
+    add.src2 = ir(2);
+    ASSERT_TRUE(cons.enqueue(op_for(add)));
+  }
+
+  int pushed = 0;
+  std::uint64_t now = 0;
+  const std::uint64_t limit = 1'000'000;
+  while (!cons.drained() || !prod.drained() || pushed < kTokens) {
+    // Bursty producer: long silences followed by clumps of pushes.
+    if (pushed < kTokens && now % 23 == 0) {
+      for (int burst = 1 + static_cast<int>(rng() % 3);
+           burst-- > 0 && pushed < kTokens; ++pushed) {
+        Instruction push;
+        push.op = Opcode::PUSHLDQ;
+        push.src1 = ir(3);
+        ASSERT_TRUE(prod.enqueue(op_for(push)));
+      }
+    }
+    prod.tick(now);
+    cons.tick(now);
+    ASSERT_NO_THROW(prod.debug_check_invariants(now)) << "cycle " << now;
+    ASSERT_NO_THROW(cons.debug_check_invariants(now)) << "cycle " << now;
+    ASSERT_LT(++now, limit) << "pair did not drain";
+  }
+  EXPECT_EQ(cons.stats().committed, 2u * kTokens);
+  // The dry spells must really have parked the consumer's head on the
+  // empty queue — otherwise this test lost its sleeper coverage.
+  EXPECT_GT(cons.stats().head_pop_empty_stalls, 0u);
+  EXPECT_TRUE(ldq.empty());
+}
+
 }  // namespace
 }  // namespace hidisc

@@ -2,6 +2,11 @@
 // semantics) and functional-unit pools.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
 #include "uarch/fu_pool.hpp"
 #include "uarch/timed_fifo.hpp"
 
@@ -64,6 +69,16 @@ TEST(TimedFifo, StatsTrackOccupancyAndStalls) {
   EXPECT_EQ(q.stats().pushes, 0u);
 }
 
+TEST(TimedFifo, PopOnEmptyThrows) {
+  // A pop with no token is always a scheduler bug (the issue gates check
+  // front_ready first); it must fail loudly, not return garbage.
+  TimedFifo q("ldq", 2);
+  EXPECT_THROW(q.pop(), std::logic_error);
+  q.push({0, 7, false});
+  EXPECT_EQ(q.pop().producer_pos, 7);
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
 TEST(FuPool, AcquireUntilExhausted) {
   FuPool pool(2);
   EXPECT_TRUE(pool.available(0));
@@ -90,6 +105,76 @@ TEST(FuPool, ResetFreesUnits) {
 TEST(FuPool, SizeReportsUnitCount) {
   EXPECT_EQ(FuPool(4).size(), 4);
   EXPECT_EQ(FuPool().size(), 0);
+}
+
+// The pool keeps a lazily-pruned min-heap of release times; this model is
+// the obvious per-unit array with linear scans.  Every query the issue
+// path makes (available / acquire / next_release / exhausted_at) must
+// agree with it under a random schedule of pipelined and unpipelined
+// acquires with time always moving forward.
+struct RefPool {
+  explicit RefPool(int units) : release(static_cast<std::size_t>(units), 0) {}
+  std::vector<std::uint64_t> release;  // per-unit: busy until this cycle
+
+  bool available(std::uint64_t now) const {
+    return std::any_of(release.begin(), release.end(),
+                       [&](std::uint64_t r) { return r <= now; });
+  }
+  bool acquire(std::uint64_t now, int busy) {
+    for (auto& r : release)
+      if (r <= now) {
+        r = now + static_cast<std::uint64_t>(busy);
+        return true;
+      }
+    return false;
+  }
+  std::uint64_t next_release(std::uint64_t now) const {
+    std::uint64_t best = kNoEvent;
+    for (const auto r : release)
+      if (r > now) best = std::min(best, r);
+    return best;
+  }
+  bool exhausted_at(std::uint64_t t) const {
+    return std::all_of(release.begin(), release.end(),
+                       [&](std::uint64_t r) { return r > t; });
+  }
+};
+
+TEST(FuPool, AgreesWithLinearScanModelUnderRandomSchedule) {
+  for (const int units : {1, 2, 4}) {
+    FuPool pool(units);
+    RefPool ref(units);
+    std::mt19937_64 rng(0xF00Du + static_cast<std::uint64_t>(units));
+    std::uint64_t now = 0;
+    for (int step = 0; step < 2000; ++step) {
+      now += rng() % 3;  // time never moves backwards, often stays put
+      switch (rng() % 3) {
+        case 0: {  // pipelined op: busy one cycle
+          EXPECT_EQ(pool.acquire(now, 1), ref.acquire(now, 1))
+              << units << " units, step " << step;
+          break;
+        }
+        case 1: {  // unpipelined divide: busy up to 20 cycles
+          const int busy = 1 + static_cast<int>(rng() % 20);
+          EXPECT_EQ(pool.acquire(now, busy), ref.acquire(now, busy))
+              << units << " units, step " << step;
+          break;
+        }
+        default:
+          break;  // query-only step
+      }
+      EXPECT_EQ(pool.available(now), ref.available(now)) << "step " << step;
+      EXPECT_EQ(pool.next_release(now), ref.next_release(now))
+          << "step " << step;
+      // exhausted_at is read-only and must hold at the present and at the
+      // future instants the invariant checker probes (pin horizons).
+      EXPECT_EQ(pool.exhausted_at(now), ref.exhausted_at(now))
+          << "step " << step;
+      const std::uint64_t t = now + rng() % 25;
+      EXPECT_EQ(pool.exhausted_at(t), ref.exhausted_at(t))
+          << "step " << step << " at " << t;
+    }
+  }
 }
 
 }  // namespace

@@ -21,10 +21,25 @@ Refresh the baseline with --update after an intentional perf change:
 
 When the run used --benchmark_repetitions, aggregate entries are preferred
 and the median is used (more robust than the mean on noisy CI runners).
+
+--append-trajectory PATH appends this run's numbers to a trajectory file
+(BENCH_throughput.json at the repo root, in CI) before gating, so the
+repo accumulates an items/sec history across commits:
+
+    python3 tools/perf_gate.py bench/baseline.json perf.json \
+        --append-trajectory BENCH_throughput.json --commit "$GITHUB_SHA"
+
+Each entry is {"commit", "benchmarks": {name: {"items_per_second",
+"sim_cycles_per_sec"}}}.  The throughput benchmarks report simulated
+cycles as items, so the two rates coincide there; both are written so the
+trajectory stays meaningful if items ever change meaning.  The append
+happens even when the gate then fails — a regression is exactly the data
+point the trajectory exists to show.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -48,6 +63,32 @@ def load_items_per_second(path):
     return {**plain, **medians}
 
 
+def append_trajectory(path, commit, current):
+    """Append one {commit, benchmarks} entry to the trajectory JSON list."""
+    try:
+        with open(path) as f:
+            history = json.load(f)
+        if not isinstance(history, list):
+            print(f"perf_gate: {path} is not a JSON list; refusing to "
+                  "overwrite", file=sys.stderr)
+            return 1
+    except FileNotFoundError:
+        history = []
+    history.append({
+        "commit": commit,
+        "benchmarks": {
+            name: {"items_per_second": ips, "sim_cycles_per_sec": ips}
+            for name, ips in sorted(current.items())
+        },
+    })
+    with open(path, "w") as f:
+        json.dump(history, f, indent=2)
+        f.write("\n")
+    print(f"perf_gate: appended {commit[:12]} to {path} "
+          f"({len(history)} entries)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="checked-in baseline JSON")
@@ -56,6 +97,11 @@ def main():
                     help="allowed fractional items/sec drop (default 0.25)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the current run and exit")
+    ap.add_argument("--append-trajectory", metavar="PATH",
+                    help="append this run's rates to a trajectory JSON list")
+    ap.add_argument("--commit", default=None,
+                    help="commit id for the trajectory entry "
+                         "(default: $GITHUB_SHA, else 'local')")
     args = ap.parse_args()
 
     current = load_items_per_second(args.current)
@@ -63,6 +109,12 @@ def main():
         print(f"perf_gate: no items_per_second entries in {args.current}",
               file=sys.stderr)
         return 1
+
+    if args.append_trajectory:
+        commit = args.commit or os.environ.get("GITHUB_SHA") or "local"
+        rc = append_trajectory(args.append_trajectory, commit, current)
+        if rc != 0:
+            return rc
 
     if args.update:
         with open(args.current) as f:
