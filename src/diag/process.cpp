@@ -1,0 +1,41 @@
+#include "diag/process.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sys/wait.h>
+
+namespace hidisc::diag {
+
+ChildExit decode_wait_status(int status) noexcept {
+  ChildExit e;
+  if (WIFEXITED(status)) {
+    e.kind = ChildExitKind::Exited;
+    e.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    e.kind = ChildExitKind::Signaled;
+    e.code = WTERMSIG(status);
+  }
+  return e;
+}
+
+std::string describe_wait_status(int status) {
+  const ChildExit e = decode_wait_status(status);
+  char buf[64];
+  switch (e.kind) {
+    case ChildExitKind::Exited:
+      std::snprintf(buf, sizeof buf, "exit %d", e.code);
+      return buf;
+    case ChildExitKind::Signaled: {
+      const char* name = strsignal(e.code);
+      std::snprintf(buf, sizeof buf, "signal %d (%s)", e.code,
+                    name ? name : "?");
+      return buf;
+    }
+    case ChildExitKind::Unknown:
+      break;
+  }
+  std::snprintf(buf, sizeof buf, "unknown status 0x%x", status);
+  return buf;
+}
+
+}  // namespace hidisc::diag

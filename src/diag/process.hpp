@@ -1,0 +1,39 @@
+// Child-process exit forensics, shared by the hiserve daemon (worker
+// crash classification feeding retry decisions and service stats) and by
+// anything else that reaps children.
+//
+// Same philosophy as the DeadlockReport: turn a raw wait(2) status into
+// a classified, human-readable record instead of a magic integer, so the
+// daemon's "worker died" log line and the retry policy both speak the
+// same language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hidisc::diag {
+
+enum class ChildExitKind : std::uint8_t {
+  Exited,    // normal _exit; code in `code`
+  Signaled,  // killed by a signal; signal number in `code`
+  Unknown,   // wait status we cannot decode
+};
+
+struct ChildExit {
+  ChildExitKind kind = ChildExitKind::Unknown;
+  int code = 0;  // exit code or signal number
+
+  // True for deaths that look like infrastructure (signal, nonzero
+  // exit) rather than an orderly shutdown.
+  [[nodiscard]] bool crashed() const noexcept {
+    return kind != ChildExitKind::Exited || code != 0;
+  }
+};
+
+// Decodes a waitpid(2) status.
+[[nodiscard]] ChildExit decode_wait_status(int status) noexcept;
+
+// "exit 0" / "exit 3" / "signal 9 (SIGKILL)" / "unknown status 0x7f".
+[[nodiscard]] std::string describe_wait_status(int status);
+
+}  // namespace hidisc::diag

@@ -1,5 +1,10 @@
 #include "lab/result_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -40,8 +45,17 @@ std::string ResultCache::path_for(const std::string& key) const {
 }
 
 void ResultCache::quarantine(const std::string& path) const {
+  // The destination must be unique per quarantining process AND per
+  // event: with several runners sharing a directory, a fixed
+  // `<path>.corrupt` name would let a second quarantine clobber the first
+  // one's forensic evidence (or race its rename).  pid + a process-local
+  // counter keeps every specimen.
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream dest;
+  dest << path << ".corrupt." << ::getpid() << '.'
+       << counter.fetch_add(1, std::memory_order_relaxed);
   std::error_code ec;
-  fs::rename(path, path + ".corrupt", ec);  // best-effort
+  fs::rename(path, dest.str(), ec);  // best-effort
 }
 
 std::optional<CacheEntry> ResultCache::load(const std::string& key) const {
@@ -106,26 +120,42 @@ bool ResultCache::store(const std::string& key,
     body << name << ' ' << value << '\n';
   body << checksum_line(body.str()) << '\n';
 
-  // Unique temp name per writer, then atomic rename into place.
+  // Publish protocol for a directory shared across processes: take an
+  // advisory lock on `<entry>.lock`, write a temp file unique per
+  // process AND thread, then atomically rename it into place.  The
+  // rename alone already guarantees readers never see a torn entry; the
+  // lock additionally serializes concurrent writers of the same key so
+  // their temp-write + rename windows do not interleave.  Locking is
+  // best-effort — on a filesystem without flock the rename still keeps
+  // the entry atomic.
+  const std::string final_path = path_for(key);
+  const int lock_fd =
+      ::open((final_path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+             0644);
+  if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
   std::ostringstream tid;
   tid << std::this_thread::get_id();
-  const std::string tmp = path_for(key) + ".tmp." + tid.str();
+  const std::string tmp =
+      final_path + ".tmp." + std::to_string(::getpid()) + "." + tid.str();
+  bool ok = false;
   {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    out << body.str();
-    if (!out.flush()) {
-      std::remove(tmp.c_str());
-      return false;
+    if (out) {
+      out << body.str();
+      ok = static_cast<bool>(out.flush());
     }
   }
-  std::error_code ec;
-  fs::rename(tmp, path_for(key), ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return false;
+  if (ok) {
+    std::error_code ec;
+    fs::rename(tmp, final_path, ec);
+    ok = !ec;
   }
-  return true;
+  if (!ok) std::remove(tmp.c_str());
+  if (lock_fd >= 0) {
+    ::flock(lock_fd, LOCK_UN);
+    ::close(lock_fd);
+  }
+  return ok;
 }
 
 }  // namespace hidisc::lab

@@ -12,13 +12,17 @@
 //     ... (every visit_result_fields name, one per line)
 //     checksum <16-hex FNV-1a-64 of everything above>
 //
-// Writes go through a per-process temp file + atomic rename, so parallel
-// runners (threads or separate processes) sharing a directory never
-// observe a torn entry.  Loads validate three layers: the checksum footer
-// (bit rot, torn writes), line shape, and required-field completeness (a
-// line-aligned truncation must not decode as a silently-zeroed Result).
-// Any failure quarantines the file to `<name>.corrupt` and reports a
-// miss, never an error: the cache is an accelerator, not a dependency.
+// Writes go through an advisory per-entry flock plus a per-process,
+// per-thread temp file published by atomic rename, so parallel runners
+// (threads or separate processes — hilab, hiserved workers) sharing a
+// directory never observe a torn entry.  Loads validate three layers:
+// the checksum footer (bit rot, torn writes), line shape, and
+// required-field completeness (a line-aligned truncation must not decode
+// as a silently-zeroed Result).  Any failure quarantines the file to
+// `<name>.corrupt.<pid>.<n>` — unique per process and event, so
+// concurrent quarantines never clobber each other's forensic evidence —
+// and reports a miss, never an error: the cache is an accelerator, not a
+// dependency.
 // Entries with an older version header are plain misses (stale format,
 // not corruption) and are left in place to be overwritten.
 #pragma once
@@ -54,9 +58,10 @@ class ResultCache {
 
  private:
   [[nodiscard]] std::string path_for(const std::string& key) const;
-  // Moves a failed-validation entry aside to `<path>.corrupt`
+  // Moves a failed-validation entry aside to `<path>.corrupt.<pid>.<n>`
   // (best-effort) so it stops being retried and stays available for
-  // forensics.
+  // forensics; the unique suffix keeps concurrent quarantines from
+  // overwriting each other.
   void quarantine(const std::string& path) const;
 
   std::string dir_;

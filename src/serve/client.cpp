@@ -1,0 +1,131 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "serve/transport.hpp"
+
+namespace hidisc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_daemon_error(const Frame& f) {
+  const KvMap kv = kv_parse(f.payload);
+  std::string msg = "hiserve daemon: " + kv_get(kv, "message", "error");
+  const std::string plans = kv_get(kv, "plans");
+  if (!plans.empty()) msg += "\navailable plans: " + plans;
+  throw std::runtime_error(msg);
+}
+
+Frame expect_frame(Conn& conn) {
+  auto f = conn.recv_frame();
+  if (!f)
+    throw TransportError("hiserve client: daemon closed the connection");
+  if (f->type == MsgType::Error) throw_daemon_error(*f);
+  return std::move(*f);
+}
+
+Conn handshake(const std::string& endpoint) {
+  Conn conn = connect_to(endpoint);
+  conn.send_frame(Frame{MsgType::Hello,
+                        kv_encode({{"proto",
+                                    std::to_string(kProtocolVersion)}})});
+  const Frame ok = expect_frame(conn);
+  if (ok.type != MsgType::HelloOk)
+    throw ProtocolError("hiserve client: expected HelloOk, got " +
+                        std::string(msg_type_name(ok.type)));
+  return conn;
+}
+
+}  // namespace
+
+ConnectedRun run_plan_connected(const PlanRequest& req,
+                                const lab::ExperimentPlan& plan,
+                                const ClientOptions& opt) {
+  const auto start = Clock::now();
+  Conn conn = handshake(opt.endpoint);
+  conn.send_frame(Frame{MsgType::SubmitPlan, kv_encode(req.to_kv())});
+
+  const Frame accepted = expect_frame(conn);
+  if (accepted.type != MsgType::PlanAccepted)
+    throw ProtocolError("hiserve client: expected PlanAccepted, got " +
+                        std::string(msg_type_name(accepted.type)));
+  const std::size_t cells =
+      kv_get_u64(kv_parse(accepted.payload), "cells");
+  if (cells != plan.cells.size())
+    throw std::runtime_error(
+        "hiserve client: daemon materialized " + std::to_string(cells) +
+        " cells for plan '" + req.plan + "' but this client built " +
+        std::to_string(plan.cells.size()) +
+        " — client/daemon plan registries disagree (version skew?)");
+
+  ConnectedRun out;
+  out.run.cells.resize(plan.cells.size());
+  std::size_t done = 0;
+  for (;;) {
+    const Frame f = expect_frame(conn);
+    if (f.type == MsgType::CellDone) {
+      const KvMap kv = kv_parse(f.payload);
+      const std::size_t idx = kv_get_u64(kv, "cell");
+      if (idx >= out.run.cells.size())
+        throw ProtocolError("hiserve client: cell index " +
+                            std::to_string(idx) + " out of range");
+      out.run.cells[idx] = cell_result_from_kv(kv);
+      // The daemon marks dedup- and memo-served cells cached on the wire
+      // even when the underlying job simulated (from another client's
+      // submission); from_cache is the client-visible meaning.
+      out.run.cells[idx].from_cache = kv_get(kv, "cached") == "1";
+      if (kv_get(kv, "dedup") == "1") ++out.dedup;
+      ++done;
+      if (opt.on_cell)
+        opt.on_cell(plan.cells[idx], done, plan.cells.size(),
+                    out.run.cells[idx].from_cache);
+      continue;
+    }
+    if (f.type == MsgType::PlanDone) {
+      const KvMap kv = kv_parse(f.payload);
+      out.run.simulated = kv_get_u64(kv, "simulated");
+      out.run.cache_hits = kv_get_u64(kv, "cached");
+      out.run.failed = kv_get_u64(kv, "failed");
+      out.server_wall_ms = kv_get_double(kv, "wall_ms");
+      break;
+    }
+    throw ProtocolError("hiserve client: unexpected frame " +
+                        std::string(msg_type_name(f.type)));
+  }
+  if (done != plan.cells.size())
+    throw std::runtime_error("hiserve client: plan finished after " +
+                             std::to_string(done) + "/" +
+                             std::to_string(plan.cells.size()) + " cells");
+
+  out.run.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  // Aggregate simulator throughput over the cells this plan simulated,
+  // same definition as lab::run_plan.
+  double sim_ms = 0.0;
+  std::uint64_t sim_cycles = 0;
+  for (const auto& c : out.run.cells) {
+    if (c.from_cache || !c.ok() || c.wall_ms <= 0.0) continue;
+    sim_ms += c.wall_ms;
+    sim_cycles += c.result.cycles;
+  }
+  if (sim_ms > 0.0)
+    out.run.sim_cycles_per_sec =
+        static_cast<double>(sim_cycles) * 1000.0 / sim_ms;
+  return out;
+}
+
+std::string fetch_service_stats(const std::string& endpoint) {
+  Conn conn = handshake(endpoint);
+  conn.send_frame(Frame{MsgType::GetStats, ""});
+  const Frame f = expect_frame(conn);
+  if (f.type != MsgType::Stats)
+    throw ProtocolError("hiserve client: expected Stats, got " +
+                        std::string(msg_type_name(f.type)));
+  return f.payload;
+}
+
+}  // namespace hidisc::serve

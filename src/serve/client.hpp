@@ -1,0 +1,50 @@
+// Thin hiserve client: submit a named plan to a running daemon and get a
+// lab::PlanRun back — the same shape lab::run_plan returns, so `hilab
+// --connect` shares the table/JSON/CSV path with local mode and the
+// acceptance criterion ("connected results bit-identical to local runs")
+// is checkable with lab::results_identical.
+//
+// The client rebuilds the plan locally (plans are named registry
+// entries; both ends materialize identical cells), streams CellDone
+// frames into the right run slots as they arrive — any order, any
+// interleaving with the other clients the daemon is serving — and
+// finishes on PlanDone.  A daemon-side Error frame or transport failure
+// throws; per-cell failures arrive in the error slots like local runs.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "lab/plan.hpp"
+#include "lab/runner.hpp"
+#include "serve/protocol.hpp"
+
+namespace hidisc::serve {
+
+struct ClientOptions {
+  std::string endpoint;  // unix path or tcp:HOST:PORT
+  // Progress callback, same contract as lab::RunOptions::on_cell.
+  std::function<void(const lab::Cell& cell, std::size_t done,
+                     std::size_t total, bool from_cache)>
+      on_cell;
+};
+
+struct ConnectedRun {
+  lab::PlanRun run;          // indexed by cell, like lab::run_plan
+  std::size_t dedup = 0;     // cells served by sharing another plan's job
+  double server_wall_ms = 0; // daemon-side plan wall clock
+};
+
+// Submits `req` and blocks until the plan completes.  `plan` must be the
+// client-side materialization of the same request (see
+// materialize_plan); it provides cell count and progress labels.
+// Throws std::runtime_error on daemon errors (unknown plan, draining)
+// and TransportError/ProtocolError on connection problems.
+[[nodiscard]] ConnectedRun run_plan_connected(const PlanRequest& req,
+                                              const lab::ExperimentPlan& plan,
+                                              const ClientOptions& opt);
+
+// Fetches the daemon's service-stats JSON over a fresh connection.
+[[nodiscard]] std::string fetch_service_stats(const std::string& endpoint);
+
+}  // namespace hidisc::serve

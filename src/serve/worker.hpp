@@ -1,0 +1,65 @@
+// hiserve worker: one forked process running cells on the daemon's
+// behalf.
+//
+// The loop is deliberately boring: recv Job frame -> execute the named
+// plan cell -> send JobDone frame, until Shutdown or EOF.  All heavy
+// state is process-local: a CellExecutor memoizes compilations and
+// functional traces by prep identity across jobs (the same memoization
+// the lab runner does per plan, amortized across every job this worker
+// ever runs), and probes/publishes the shared on-disk ResultCache, whose
+// advisory-locked atomic-rename store makes concurrent workers safe.
+//
+// Cell failures are data, not worker deaths: prep/trace/sim errors and
+// classified deadlocks travel back in the JobDone error slots exactly as
+// the lab runner's fault isolation fills them (DeadlockReport JSON
+// verbatim).  Only infrastructure failure (unreadable socket, unknown
+// plan name — a daemon bug, since the daemon validated it) aborts the
+// worker, and the daemon's crash/retry machinery covers that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "lab/plan.hpp"
+#include "lab/result_cache.hpp"
+#include "lab/runner.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace hidisc::serve {
+
+// Executes single cells with cross-job prep memoization.  Used by the
+// worker loop; exposed for unit tests.
+class CellExecutor {
+ public:
+  // `cache_dir` empty disables the persistent cache.
+  explicit CellExecutor(std::string cache_dir);
+  ~CellExecutor();
+
+  // Runs one cell of (a fresh rebuild of) the referenced plan.  Never
+  // throws for per-cell failures — they land in the error slots.  Throws
+  // std::out_of_range for an unknown plan name or cell index.
+  [[nodiscard]] lab::CellResult execute(const JobSpec& spec);
+
+ private:
+  struct Prep;  // compilation + traces for one (workload, options) pair
+  Prep& prep_for(const lab::Cell& cell, lab::CellResult& out);
+
+  std::map<std::string, std::unique_ptr<Prep>> preps_;
+  std::optional<lab::ResultCache> cache_;
+};
+
+// Rebuilds the plan a PlanRequest names and applies its overrides;
+// shared by worker, daemon and client so all three see identical cells.
+// Throws std::out_of_range for an unknown plan name and
+// std::runtime_error for an unknown scale.
+[[nodiscard]] lab::ExperimentPlan materialize_plan(const PlanRequest& req);
+
+// The forked worker's entry point: serves jobs on `conn` until Shutdown
+// or EOF.  Returns the process exit code (0 = clean shutdown).
+int worker_main(Conn conn, const std::string& cache_dir);
+
+}  // namespace hidisc::serve

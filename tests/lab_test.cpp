@@ -152,8 +152,14 @@ void write_entry(const std::string& dir, const std::string& key,
   out << text;
 }
 
+// Quarantine destinations carry a unique `.corrupt.<pid>.<n>` suffix so
+// concurrent quarantining processes never clobber each other's specimen;
+// match on the prefix rather than an exact name.
 bool quarantined(const std::string& dir, const std::string& key) {
-  return fs::exists(fs::path(dir) / (key + ".result.corrupt"));
+  const std::string prefix = key + ".result.corrupt.";
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().filename().string().rfind(prefix, 0) == 0) return true;
+  return false;
 }
 
 TEST(LabResultCache, LineAlignedTruncationIsMissAndQuarantined) {

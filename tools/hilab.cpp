@@ -11,12 +11,22 @@
 //         [--watchdog N] [--lockstep]
 //         [--json FILE|-] [--csv FILE|-] [--quiet]
 //
-// Guarantees: results are bit-identical for every --threads value, and a
-// second invocation against a warm cache simulates zero cells.
+// With --connect the plan runs on a hiserved daemon instead of in
+// process: cells are deduplicated against every other connected client
+// and served from the daemon's shared result cache, and the results are
+// bit-identical to a local run of the same plan:
+//
+//   hilab --connect /tmp/hiserve.sock --plan paper [--refresh]
+//         [--service-stats FILE|-] [--json ...] [--csv ...]
+//
+// Guarantees: results are bit-identical for every --threads value (and
+// for --connect against any worker count), and a second invocation
+// against a warm cache simulates zero cells.
 //
 // Exit codes: 0 = every cell healthy, 4 = partial failure (some cells
 // failed; healthy cells still exported), 1 = infrastructure error (bad
-// plan, broken cache dir, export I/O), 2 = usage.
+// plan... broken cache dir, export I/O, daemon unreachable), 2 = usage
+// (including an unknown --plan name, which lists the available plans).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +37,8 @@
 #include "lab/plan.hpp"
 #include "lab/runner.hpp"
 #include "lab/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/worker.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -48,8 +60,16 @@ int usage(const char* argv0) {
       "  --refresh         ignore existing cache entries, overwrite them\n"
       "  --watchdog N      override every cell's watchdog threshold\n"
       "  --lockstep        force the Lockstep scheduler on every cell\n"
+      "  --connect EP      run on a hiserved daemon at EP (socket path or\n"
+      "                    tcp:HOST:PORT) instead of in this process\n"
+      "  --service-stats F with --connect: fetch the daemon's stats JSON\n"
+      "                    after the run and write it to F ('-' = stdout)\n"
       "  --json FILE       export full results as JSON ('-' = stdout)\n"
       "  --csv FILE        export summary rows as CSV ('-' = stdout)\n"
+      "  --bench-json FILE write a google-benchmark-style JSON with this\n"
+      "                    run's cells/sec (for tools/perf_gate.py)\n"
+      "  --bench-name NAME benchmark name for --bench-json (default\n"
+      "                    SVC_<plan>)\n"
       "  --quiet           suppress the per-cell progress line\n",
       argv0, argv0);
   return 2;
@@ -65,12 +85,44 @@ int list_plans() {
   return 0;
 }
 
+// Unknown --plan is a usage error, not a runtime one: name the plans the
+// user could have meant and exit 2.
+int unknown_plan(const std::string& name) {
+  std::fprintf(stderr, "hilab: unknown plan '%s'\navailable plans:\n",
+               name.c_str());
+  for (const auto& known : lab::plan_names())
+    std::fprintf(stderr, "  %s\n", known.c_str());
+  return 2;
+}
+
+// Google-benchmark-shaped JSON so tools/perf_gate.py --append-trajectory
+// can record service/local plan throughput next to BM_FullMachine.
+void write_bench_json(const std::string& path, const std::string& name,
+                      std::size_t cells, double wall_ms) {
+  const double cells_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(cells) * 1000.0 / wall_ms : 0.0;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n  \"benchmarks\": [\n    {\n"
+                "      \"name\": \"%s\",\n"
+                "      \"run_type\": \"iteration\",\n"
+                "      \"iterations\": 1,\n"
+                "      \"real_time\": %.6g,\n"
+                "      \"time_unit\": \"ms\",\n"
+                "      \"items_per_second\": %.17g\n"
+                "    }\n  ]\n}\n",
+                name.c_str(), wall_ms, cells_per_sec);
+  lab::write_text_file(path, buf);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string plan_name, json_path, csv_path;
+  std::string plan_name, json_path, csv_path, connect_ep, stats_path;
+  std::string bench_json, bench_name;
   std::string cache_dir = ".hilab-cache";
   workloads::Scale scale = workloads::Scale::Paper;
+  std::string scale_str = "paper";
   int threads = lab::default_threads();
   bool refresh = false, quiet = false, lockstep = false;
   std::uint64_t watchdog = 0;  // 0 = keep each cell's own threshold
@@ -97,6 +149,7 @@ int main(int argc, char** argv) {
         if (s == "paper") scale = workloads::Scale::Paper;
         else if (s == "test") scale = workloads::Scale::Test;
         else throw std::runtime_error("unknown scale: " + s);
+        scale_str = s;
       }
       else if (arg == "--cache-dir") cache_dir = value();
       else if (arg == "--no-cache") cache_dir.clear();
@@ -113,8 +166,12 @@ int main(int argc, char** argv) {
           throw std::runtime_error("--watchdog must be >= 1");
       }
       else if (arg == "--lockstep") lockstep = true;
+      else if (arg == "--connect") connect_ep = value();
+      else if (arg == "--service-stats") stats_path = value();
       else if (arg == "--json") json_path = value();
       else if (arg == "--csv") csv_path = value();
+      else if (arg == "--bench-json") bench_json = value();
+      else if (arg == "--bench-name") bench_name = value();
       else if (arg == "--quiet") quiet = true;
       else if (arg == "--help" || arg == "-h") return usage(argv[0]);
       else throw std::runtime_error("unknown option: " + arg);
@@ -123,14 +180,30 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (plan_name.empty()) return usage(argv[0]);
+  if (plan_name.empty() && stats_path.empty()) return usage(argv[0]);
   if (threads < 1) {
     std::fprintf(stderr, "hilab: --threads must be >= 1\n");
     return 2;
   }
+  if (!stats_path.empty() && connect_ep.empty()) {
+    std::fprintf(stderr, "hilab: --service-stats needs --connect\n");
+    return 2;
+  }
 
   try {
-    lab::ExperimentPlan plan = lab::make_plan(plan_name, scale);
+    // Stats-only invocation: `hilab --connect EP --service-stats -`.
+    if (plan_name.empty()) {
+      lab::write_text_file(stats_path,
+                           serve::fetch_service_stats(connect_ep));
+      return 0;
+    }
+
+    lab::ExperimentPlan plan;
+    try {
+      plan = lab::make_plan(plan_name, scale);
+    } catch (const std::out_of_range&) {
+      return unknown_plan(plan_name);
+    }
     // --watchdog participates in content keys, so an overridden run never
     // aliases a normal run's cache entries; --lockstep deliberately does
     // not (both schedulers produce bit-identical results).
@@ -141,23 +214,41 @@ int main(int argc, char** argv) {
           cell.config.scheduler = machine::SchedulerKind::Lockstep;
       }
 
-    lab::RunOptions opt;
-    opt.threads = threads;
-    opt.cache_dir = cache_dir;
-    opt.refresh = refresh;
-    if (!quiet)
-      opt.on_cell = [](const lab::Cell& cell, std::size_t done,
-                       std::size_t total, bool from_cache) {
-        std::fprintf(stderr, "[%3zu/%3zu] %-12s %-11s %-7s %s\n", done,
-                     total, cell.workload.name.c_str(),
-                     machine::preset_name(cell.preset), cell.tag.c_str(),
-                     from_cache ? "(cached)" : "simulated");
-      };
+    const auto progress = [](const lab::Cell& cell, std::size_t done,
+                             std::size_t total, bool from_cache) {
+      std::fprintf(stderr, "[%3zu/%3zu] %-12s %-11s %-7s %s\n", done, total,
+                   cell.workload.name.c_str(),
+                   machine::preset_name(cell.preset), cell.tag.c_str(),
+                   from_cache ? "(cached)" : "simulated");
+    };
 
-    const lab::PlanRun run = lab::run_plan(plan, opt);
+    lab::PlanRun run;
+    std::size_t dedup_cells = 0;
+    if (connect_ep.empty()) {
+      lab::RunOptions opt;
+      opt.threads = threads;
+      opt.cache_dir = cache_dir;
+      opt.refresh = refresh;
+      if (!quiet) opt.on_cell = progress;
+      run = lab::run_plan(plan, opt);
+    } else {
+      serve::PlanRequest req;
+      req.plan = plan_name;
+      req.scale = scale_str;
+      req.watchdog = watchdog;
+      req.lockstep = lockstep;
+      req.refresh = refresh;
+      serve::ClientOptions copt;
+      copt.endpoint = connect_ep;
+      if (!quiet) copt.on_cell = progress;
+      serve::ConnectedRun cr = serve::run_plan_connected(req, plan, copt);
+      run = std::move(cr.run);
+      dedup_cells = cr.dedup;
+    }
 
     // An export aimed at stdout owns it: keep the human report off the pipe.
-    const bool stdout_export = json_path == "-" || csv_path == "-";
+    const bool stdout_export =
+        json_path == "-" || csv_path == "-" || stats_path == "-";
     if (!stdout_export) {
       stats::Table table({"Workload", "Preset", "Tag", "Cycles", "IPC",
                           "L1 miss rate", "Source"});
@@ -179,11 +270,18 @@ int main(int argc, char** argv) {
       }
       std::printf("=== plan %s: %s ===\n\n%s\n", plan.name.c_str(),
                   plan.description.c_str(), table.to_string().c_str());
-      std::printf(
-          "%zu cells: %zu simulated, %zu cache hits, %zu failed; "
-          "%zu compilations, %zu traces; %d threads; %.0f ms",
-          plan.cells.size(), run.simulated, run.cache_hits, run.failed,
-          run.preps, run.traces, threads, run.wall_ms);
+      if (connect_ep.empty())
+        std::printf(
+            "%zu cells: %zu simulated, %zu cache hits, %zu failed; "
+            "%zu compilations, %zu traces; %d threads; %.0f ms",
+            plan.cells.size(), run.simulated, run.cache_hits, run.failed,
+            run.preps, run.traces, threads, run.wall_ms);
+      else
+        std::printf(
+            "%zu cells via %s: %zu simulated, %zu cache hits, "
+            "%zu dedup-shared, %zu failed; %.0f ms",
+            plan.cells.size(), connect_ep.c_str(), run.simulated,
+            run.cache_hits, dedup_cells, run.failed, run.wall_ms);
       if (run.sim_cycles_per_sec > 0.0)
         std::printf("; %.2f Mcycles/s", run.sim_cycles_per_sec / 1e6);
       std::printf("\n");
@@ -194,6 +292,13 @@ int main(int argc, char** argv) {
       lab::write_text_file(json_path, lab::to_json(plan, run, meta));
     if (!csv_path.empty())
       lab::write_text_file(csv_path, lab::to_csv(plan, run));
+    if (!bench_json.empty())
+      write_bench_json(bench_json,
+                       bench_name.empty() ? "SVC_" + plan_name : bench_name,
+                       plan.cells.size(), run.wall_ms);
+    if (!stats_path.empty())
+      lab::write_text_file(stats_path,
+                           serve::fetch_service_stats(connect_ep));
 
     if (!run.ok()) {
       // Partial failure: healthy cells are exported above; the failed
