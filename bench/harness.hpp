@@ -3,18 +3,21 @@
 // Each bench binary regenerates one table or figure of the paper
 // (DESIGN.md §4 maps experiment ids to binaries).  The figure/table
 // binaries (Fig. 8/9/10, Table 2) run whole plans through the hidisc-lab
-// orchestrator (src/lab/) — parallel execution, memoized prep, persistent
-// result cache; the ablation binaries, which iterate over bespoke config
-// axes, use the direct prepare()/run_preset() path below.
+// orchestrator (src/lab/); the ablation binaries, which iterate over
+// bespoke config axes, use the direct prepare()/run_preset() path below.
 //
-// prepare() traces only the binaries the requested presets consume: a
-// plan that never runs CP+AP or HiDISC skips the separated-binary
-// functional trace (and vice versa), which previously was wasted work on
-// every bench start-up.
+// Both paths sit on the same artifact pipeline (src/pipeline/,
+// docs/PIPELINE.md): prepare() submits compile and trace nodes to a
+// process-lifetime pipeline session, so two ablation loops over the same
+// workload share one compilation and one functional trace, and — when
+// $HILAB_CACHE_DIR is set — traces persist on disk across bench runs.
+// prepare() still traces only the binaries the requested presets consume:
+// a plan that never runs CP+AP or HiDISC skips the separated-binary
+// functional trace (and vice versa).
 #pragma once
 
 #include <cstdlib>
-#include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,8 @@
 #include "lab/runner.hpp"
 #include "lab/thread_pool.hpp"
 #include "machine/machine.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/trace_store.hpp"
 #include "sim/functional.hpp"
 #include "stats/table.hpp"
 #include "workloads/common.hpp"
@@ -30,33 +35,49 @@ namespace hidisc::bench {
 
 struct PreparedWorkload {
   std::string name;
-  compiler::Compilation comp;
-  sim::Trace orig_trace;  // empty unless some requested preset needs it
-  sim::Trace sep_trace;   // empty unless some requested preset needs it
+  // Immutable artifacts shared with the session memo (and with any other
+  // PreparedWorkload for the same (program, options) pair).
+  std::shared_ptr<const pipeline::CompileArtifact> compile;
+  std::shared_ptr<const pipeline::TraceArtifact> orig;  // null unless needed
+  std::shared_ptr<const pipeline::TraceArtifact> sep;   // null unless needed
+
+  [[nodiscard]] const compiler::Compilation& comp() const {
+    return compile->comp;
+  }
 };
 
 inline const std::vector<machine::Preset>& all_presets() {
   return lab::all_presets();
 }
 
+// One pipeline session per bench process: compile and trace artifacts are
+// memoized across every prepare() call.  With $HILAB_CACHE_DIR set the
+// session also reads/writes the on-disk trace store shared with hilab.
+inline pipeline::Pipeline& pipeline_session() {
+  static pipeline::Pipeline::Stores stores = [] {
+    pipeline::Pipeline::Stores s;
+    if (const char* dir = std::getenv("HILAB_CACHE_DIR")) {
+      static pipeline::TraceStore traces{dir};
+      s.traces = &traces;
+    }
+    return s;
+  }();
+  static pipeline::Pipeline session{stores};
+  return session;
+}
+
 // Compiles `w` and functionally traces exactly the binaries that
-// `presets` will consume.
+// `presets` will consume.  Throws on compile/trace failure (bench
+// binaries have no per-cell error slots).
 inline PreparedWorkload prepare(const workloads::BuiltWorkload& w,
                                 const std::vector<machine::Preset>& presets,
                                 const compiler::CompileOptions& opt = {}) {
-  PreparedWorkload p{w.name, compiler::compile(w.program, opt), {}, {}};
   bool need_orig = false, need_sep = false;
   for (const auto preset : presets)
     (machine::uses_separated_binary(preset) ? need_sep : need_orig) = true;
-  if (need_orig) {
-    sim::Functional fo(p.comp.original);
-    p.orig_trace = fo.run_trace();
-  }
-  if (need_sep) {
-    sim::Functional fs(p.comp.separated);
-    p.sep_trace = fs.run_trace();
-  }
-  return p;
+  const auto p =
+      pipeline_session().prepare(w.program, opt, need_orig, need_sep);
+  return PreparedWorkload{w.name, p.compile, p.orig, p.sep};
 }
 
 inline PreparedWorkload prepare(const workloads::BuiltWorkload& w,
@@ -68,8 +89,9 @@ inline machine::Result run_preset(const PreparedWorkload& p,
                                   machine::Preset preset,
                                   const machine::MachineConfig& cfg = {}) {
   const bool sep = machine::uses_separated_binary(preset);
-  return machine::run_machine(sep ? p.comp.separated : p.comp.original,
-                              sep ? p.sep_trace : p.orig_trace, preset, cfg);
+  return machine::run_machine(
+      sep ? p.comp().separated : p.comp().original,
+      sep ? p.sep->trace : p.orig->trace, preset, cfg);
 }
 
 // Lab run options shared by the figure/table binaries: thread count from

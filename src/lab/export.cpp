@@ -37,6 +37,14 @@ std::string csv_quote(const std::string& s) {
   return out;
 }
 
+void append_phase_object(std::ostringstream& out, const char* name,
+                         const pipeline::PhaseStats& ph, bool last = false) {
+  out << "    \"" << name << "\": {\"total\": " << ph.total
+      << ", \"hits\": " << ph.hits << ", \"rebuilt\": " << ph.rebuilt
+      << ", \"failed\": " << ph.failed << ", \"skipped\": " << ph.skipped()
+      << '}' << (last ? "\n" : ",\n");
+}
+
 }  // namespace
 
 std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
@@ -52,6 +60,11 @@ std::string to_json(const ExperimentPlan& plan, const PlanRun& run,
       << "  \"simulated\": " << run.simulated << ",\n"
       << "  \"cache_hits\": " << run.cache_hits << ",\n"
       << "  \"failed\": " << run.failed << ",\n"
+      << "  \"nodes\": {\n";
+  append_phase_object(out, "compile", run.nodes.compile);
+  append_phase_object(out, "trace", run.nodes.trace);
+  append_phase_object(out, "sim", run.nodes.sim, /*last=*/true);
+  out << "  },\n"
       << "  \"cells\": [\n";
   for (std::size_t i = 0; i < plan.cells.size(); ++i) {
     const Cell& c = plan.cells[i];

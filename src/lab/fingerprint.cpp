@@ -131,9 +131,21 @@ std::string describe(const compiler::CompileOptions& opt) {
   return d.take();
 }
 
+std::string hex128(const Fnv1a& lo, const Fnv1a& hi) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 "%016" PRIx64, lo.digest(),
+                hi.digest());
+  return buf;
+}
+
 std::string content_key(const isa::Program& binary, machine::Preset preset,
                         const machine::MachineConfig& cfg) {
-  const std::vector<std::uint8_t> image = isa::save_program(binary);
+  return content_key_image(isa::save_program(binary), preset, cfg);
+}
+
+std::string content_key_image(const std::vector<std::uint8_t>& image,
+                              machine::Preset preset,
+                              const machine::MachineConfig& cfg) {
   const std::string cfg_desc = describe(cfg);
   // Two independently seeded streams -> 128 bits; collisions across a
   // cache directory of any realistic size are then out of the question.
@@ -143,10 +155,7 @@ std::string content_key(const isa::Program& binary, machine::Preset preset,
     h->update(machine::preset_name(preset));
     h->update(cfg_desc);
   }
-  char buf[33];
-  std::snprintf(buf, sizeof buf, "%016" PRIx64 "%016" PRIx64, lo.digest(),
-                hi.digest());
-  return buf;
+  return hex128(lo, hi);
 }
 
 }  // namespace hidisc::lab

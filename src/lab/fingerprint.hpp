@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "compiler/compile.hpp"
 #include "isa/program.hpp"
@@ -37,11 +38,23 @@ class Fnv1a {
 [[nodiscard]] std::string describe(const machine::MachineConfig& cfg);
 [[nodiscard]] std::string describe(const compiler::CompileOptions& opt);
 
+// 32-hex digest of two seeded FNV-1a streams that were fed identical
+// bytes — the shared 128-bit formatting primitive for every
+// content-addressed key (result cache entries, pipeline node keys).
+[[nodiscard]] std::string hex128(const Fnv1a& lo, const Fnv1a& hi);
+
 // 32-hex-digit content key of one simulation: the exact binary fed to the
 // machine (post-compilation, annotations included), the preset, and the
 // machine configuration.
 [[nodiscard]] std::string content_key(const isa::Program& binary,
                                       machine::Preset preset,
                                       const machine::MachineConfig& cfg);
+
+// Same key computed from an already-encoded program image
+// (isa::save_program bytes); the pipeline executor encodes each binary
+// once and keys every downstream node off the same bytes.
+[[nodiscard]] std::string content_key_image(
+    const std::vector<std::uint8_t>& image, machine::Preset preset,
+    const machine::MachineConfig& cfg);
 
 }  // namespace hidisc::lab

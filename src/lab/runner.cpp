@@ -1,18 +1,13 @@
 #include "lab/runner.hpp"
 
 #include <chrono>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
-#include "diag/deadlock.hpp"
-#include "lab/fingerprint.hpp"
 #include "lab/result_cache.hpp"
 #include "lab/thread_pool.hpp"
-#include "machine/machine.hpp"
-#include "sim/functional.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/trace_store.hpp"
 
 namespace hidisc::lab {
 
@@ -24,30 +19,6 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
-
-// One distinct (workload spec, compile options) pair and everything
-// derived from it.  Cells hold stable pointers into the prep map; all
-// fields are written by exactly one pool task per wave and read-only
-// afterwards, so cross-thread access needs no locking beyond the waves'
-// pool.wait() barriers.
-struct Prep {
-  WorkloadSpec spec;
-  compiler::CompileOptions options;
-
-  compiler::Compilation comp;
-  bool need_orig = false, need_sep = false;  // traces wanted by miss cells
-  sim::Trace orig_trace, sep_trace;
-  // Failure slots: one per producing task, so no two writers share one.
-  std::optional<std::string> error;       // compile failure (wave 1)
-  std::optional<std::string> error_orig;  // original-trace failure (wave 3)
-  std::optional<std::string> error_sep;   // separated-trace failure (wave 3)
-};
-
-struct CellState {
-  const Cell* cell = nullptr;
-  Prep* prep = nullptr;
-  CellResult out;
-};
 
 }  // namespace
 
@@ -62,195 +33,61 @@ const CellResult& PlanRun::at(const ExperimentPlan& plan,
   return cells.at(static_cast<std::size_t>(idx));
 }
 
+// Thin driver over the artifact pipeline (src/pipeline/): materialize the
+// stores, submit the plan's cells as one node set, translate the outcome
+// into the PlanRun shape.  All scheduling, memoization, cache probing and
+// fault isolation lives in the DAG executor.
 PlanRun run_plan(const ExperimentPlan& plan, const RunOptions& opt) {
   const auto start = Clock::now();
-  PlanRun run;
-  run.cells.resize(plan.cells.size());
 
-  std::optional<ResultCache> cache;
-  if (!opt.cache_dir.empty()) cache.emplace(opt.cache_dir);
-
-  // Group cells by prep identity.  std::map keeps pointer stability and a
-  // deterministic iteration order.
-  std::map<std::string, Prep> preps;
-  std::vector<CellState> cells(plan.cells.size());
-  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
-    const Cell& c = plan.cells[i];
-    const std::string prep_key = c.workload.id() + "|" + describe(c.compile);
-    auto [it, inserted] = preps.try_emplace(prep_key);
-    if (inserted) {
-      it->second.spec = c.workload;
-      it->second.options = c.compile;
-    }
-    cells[i].cell = &c;
-    cells[i].prep = &it->second;
+  // Both persistent layers live in the same directory: <key>.result for
+  // sim nodes, <key>.trace for trace nodes.
+  std::optional<ResultCache> results;
+  std::optional<pipeline::TraceStore> traces;
+  if (!opt.cache_dir.empty()) {
+    results.emplace(opt.cache_dir);
+    traces.emplace(opt.cache_dir);
   }
+  pipeline::Pipeline::Stores stores;
+  stores.results = results ? &*results : nullptr;
+  stores.traces = traces ? &*traces : nullptr;
+  stores.refresh = opt.refresh;
+  pipeline::Pipeline pipe(stores);
 
   ThreadPool pool(opt.threads);
-  std::mutex mu;  // guards progress counters + on_cell
-  std::size_t done = 0;
+  const pipeline::Pipeline::CellHook hook =
+      [&](std::size_t index, const CellResult&, std::size_t done,
+          std::size_t total, bool from_cache) {
+        if (opt.on_cell)
+          opt.on_cell(plan.cells[index], done, total, from_cache);
+      };
+  pipeline::Pipeline::Outcome outcome = pipe.run(plan.cells, &pool, hook);
 
-  const auto report = [&](const Cell& cell, bool from_cache) {
-    std::lock_guard<std::mutex> lock(mu);
-    ++done;
-    if (opt.on_cell) opt.on_cell(cell, done, plan.cells.size(), from_cache);
-  };
-
-  // Wave 1: build + compile each distinct prep once.
-  for (auto& [key, prep] : preps) {
-    Prep* p = &prep;
-    pool.submit([p] {
-      try {
-        const workloads::BuiltWorkload w = p->spec.build();
-        p->comp = compiler::compile(w.program, p->options);
-      } catch (const std::exception& e) {
-        p->error = e.what();
-      }
-    });
-  }
-  pool.wait();
-  run.preps = preps.size();
-  // A failed prep poisons exactly the cells that reference it; everything
-  // else proceeds.
-  for (auto& cs : cells)
-    if (cs.prep->error) {
-      cs.out.error =
-          "prep " + cs.prep->spec.name + " failed: " + *cs.prep->error;
-      cs.out.error_class = "prep";
-      report(*cs.cell, /*from_cache=*/false);
-    }
-
-  // Wave 2: content keys + cache probes (cheap; hashing only).
-  for (auto& cs : cells) {
-    if (!cs.out.ok()) continue;
-    pool.submit([&cs, &cache, &opt, &report] {
-      const Cell& c = *cs.cell;
-      const bool sep = machine::uses_separated_binary(c.preset);
-      const isa::Program& binary =
-          sep ? cs.prep->comp.separated : cs.prep->comp.original;
-      cs.out.key = content_key(binary, c.preset, c.config);
-      cs.out.orig_dynamic_instructions =
-          cs.prep->comp.profile.dynamic_instructions;
-      if (cache && !opt.refresh) {
-        if (auto hit = cache->load(cs.out.key)) {
-          cs.out.result = hit->result;
-          cs.out.orig_dynamic_instructions = hit->orig_dynamic_instructions;
-          cs.out.from_cache = true;
-          report(c, /*from_cache=*/true);
-        }
-      }
-    });
-  }
-  pool.wait();
-
-  // Wave 3: functionally trace only the binaries miss cells will run.
-  for (const auto& cs : cells)
-    if (!cs.out.from_cache && cs.out.ok()) {
-      if (machine::uses_separated_binary(cs.cell->preset))
-        cs.prep->need_sep = true;
-      else
-        cs.prep->need_orig = true;
-    }
-  for (auto& [key, prep] : preps) {
-    Prep* p = &prep;
-    if (p->need_orig) {
-      pool.submit([p] {
-        try {
-          sim::Functional f(p->comp.original);
-          p->orig_trace = f.run_trace(p->options.max_steps);
-        } catch (const std::exception& e) {
-          p->error_orig = e.what();
-        }
-      });
-      ++run.traces;
-    }
-    if (p->need_sep) {
-      pool.submit([p] {
-        try {
-          sim::Functional f(p->comp.separated);
-          p->sep_trace = f.run_trace(p->options.max_steps);
-        } catch (const std::exception& e) {
-          p->error_sep = e.what();
-        }
-      });
-      ++run.traces;
-    }
-  }
-  pool.wait();
-  // A failed trace poisons the cells that would have consumed it.
-  for (auto& cs : cells) {
-    if (cs.out.from_cache || !cs.out.ok()) continue;
-    const bool sep = machine::uses_separated_binary(cs.cell->preset);
-    const auto& err = sep ? cs.prep->error_sep : cs.prep->error_orig;
-    if (err) {
-      cs.out.error = "trace " + cs.prep->spec.name + " failed: " + *err;
-      cs.out.error_class = "trace";
-      report(*cs.cell, /*from_cache=*/false);
-    }
-  }
-
-  // Wave 4: simulate the misses; persist each result as it lands.
-  for (auto& cs : cells) {
-    if (cs.out.from_cache || !cs.out.ok()) continue;
-    pool.submit([&cs, &cache, &report] {
-      const Cell& c = *cs.cell;
-      const bool sep = machine::uses_separated_binary(c.preset);
-      const auto cell_start = Clock::now();
-      try {
-        cs.out.result = machine::run_machine(
-            sep ? cs.prep->comp.separated : cs.prep->comp.original,
-            sep ? cs.prep->sep_trace : cs.prep->orig_trace, c.preset,
-            c.config);
-      } catch (const diag::DeadlockError& e) {
-        cs.out.error = e.what();
-        cs.out.error_class =
-            std::string("deadlock:") + diag::cause_name(e.report().cause);
-        cs.out.diagnostic_json = e.report().to_json();
-        report(c, /*from_cache=*/false);
-        return;
-      } catch (const std::exception& e) {
-        cs.out.error = e.what();
-        cs.out.error_class = "sim";
-        report(c, /*from_cache=*/false);
-        return;
-      }
-      cs.out.wall_ms = ms_since(cell_start);
-      if (cs.out.wall_ms > 0.0)
-        cs.out.sim_cycles_per_sec =
-            static_cast<double>(cs.out.result.cycles) * 1000.0 /
-            cs.out.wall_ms;
-      if (cache)
-        cache->store(cs.out.key,
-                     CacheEntry{cs.out.result, c.workload.name,
-                                machine::preset_name(c.preset),
-                                cs.out.orig_dynamic_instructions});
-      report(c, /*from_cache=*/false);
-    });
-  }
-  pool.wait();
-
-  for (auto& cs : cells) {
-    if (!cs.out.ok()) {
+  PlanRun run;
+  run.cells = std::move(outcome.cells);
+  run.nodes = outcome.nodes;
+  run.preps = outcome.nodes.compile.rebuilt;
+  run.traces = outcome.nodes.trace.rebuilt;
+  for (const auto& cell : run.cells) {
+    if (!cell.ok()) {
       ++run.failed;
       continue;
     }
-    run.cache_hits += cs.out.from_cache ? 1 : 0;
-    run.simulated += cs.out.from_cache ? 0 : 1;
+    run.cache_hits += cell.from_cache ? 1 : 0;
+    run.simulated += cell.from_cache ? 0 : 1;
   }
   {
     double sim_ms = 0.0;
     std::uint64_t sim_cycles = 0;
-    for (const auto& cs : cells) {
-      if (cs.out.from_cache || !cs.out.ok()) continue;
-      sim_ms += cs.out.wall_ms;
-      sim_cycles += cs.out.result.cycles;
+    for (const auto& cell : run.cells) {
+      if (cell.from_cache || !cell.ok()) continue;
+      sim_ms += cell.wall_ms;
+      sim_cycles += cell.result.cycles;
     }
     if (sim_ms > 0.0)
       run.sim_cycles_per_sec =
           static_cast<double>(sim_cycles) * 1000.0 / sim_ms;
   }
-  for (std::size_t i = 0; i < cells.size(); ++i)
-    run.cells[i] = std::move(cells[i].out);
   run.wall_ms = ms_since(start);
   return run;
 }

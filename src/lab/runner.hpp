@@ -1,19 +1,16 @@
-// The hidisc-lab experiment runner.
+// The hidisc-lab experiment runner: a thin driver over the artifact
+// pipeline (src/pipeline/, docs/PIPELINE.md).
 //
-// Executes an ExperimentPlan's cells across a work-stealing thread pool in
-// four waves, each wave fanning independent units across all workers:
-//
-//   1. prep/compile — each distinct (workload spec, compile options) pair
-//      is built and compiled exactly once, shared read-only by every cell
-//      that references it (the memoized-prep layer the bench binaries used
-//      to re-do per binary);
-//   2. cache probe — each cell's content key (program bytes, preset,
-//      config) is hashed and looked up in the on-disk ResultCache; hits
-//      are done, and only the *binaries that still have missing cells* get
-//      functionally traced in wave
-//   3. trace — at most two traces (original / separated) per compilation;
-//   4. simulate — every remaining cell runs the cycle-level machine and
-//      stores its result back into the cache.
+// run_plan submits the plan's cells to the DAG executor, which builds a
+// content-addressed graph of typed nodes — compile (one per distinct
+// (workload spec, compile options) pair) → trace (one per binary a miss
+// cell demands) → sim (one per cell) — and executes it over the
+// work-stealing thread pool in pure dependency order: a cell simulates
+// the moment its own trace is ready, regardless of what other workloads
+// are still compiling.  Sim results persist in the on-disk ResultCache,
+// traces in the TraceStore next to it, so a machine-preset-only change
+// reruns sim nodes while every trace node stays warm — observable in
+// PlanRun::nodes, the JSON export, and the service stats endpoint.
 //
 // Results are returned indexed by cell, so the output is bit-identical
 // for any thread count — parallelism changes wall-clock, never numbers.
@@ -26,6 +23,7 @@
 
 #include "lab/plan.hpp"
 #include "machine/result.hpp"
+#include "pipeline/stats.hpp"
 
 namespace hidisc::lab {
 
@@ -63,6 +61,16 @@ struct CellResult {
   std::string error_class;      // "prep" / "trace" / "sim" / "deadlock:<cause>"
   std::string diagnostic_json;  // attached DeadlockReport, when one exists
 
+  // Pipeline provenance: node work performed to satisfy this cell when it
+  // ran as a single-cell pipeline submission (hiserved jobs).  Local
+  // multi-cell runs leave these zero — nodes are shared across cells
+  // there, so per-cell attribution would double count; PlanRun::nodes is
+  // the authoritative aggregate.  The daemon zeroes them on dedup/memo
+  // deliveries so connected clients can sum without double counting.
+  std::uint32_t compile_nodes_rebuilt = 0;
+  std::uint32_t trace_nodes_hit = 0;
+  std::uint32_t trace_nodes_rebuilt = 0;
+
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
 
@@ -71,8 +79,13 @@ struct PlanRun {
   std::size_t simulated = 0;      // cells that ran the timing machine
   std::size_t failed = 0;         // cells with a non-empty error slot
   std::size_t cache_hits = 0;
-  std::size_t preps = 0;  // distinct compilations performed
-  std::size_t traces = 0; // functional traces recorded
+  std::size_t preps = 0;  // compile nodes executed (= nodes.compile.rebuilt)
+  std::size_t traces = 0; // trace nodes executed (= nodes.trace.rebuilt)
+  // Per-phase node accounting from the DAG executor: how many nodes the
+  // graph had, how many were served from a cache layer, how many rebuilt.
+  // The cache-invalidation contract is stated in these numbers (e.g. a
+  // preset-only change shows nodes.trace.rebuilt == 0).
+  pipeline::NodeStats nodes;
   double wall_ms = 0.0;   // whole-plan wall clock
   // Aggregate simulator throughput: total simulated cycles divided by the
   // summed per-cell simulation time, over the cells that actually ran the

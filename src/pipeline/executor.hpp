@@ -1,0 +1,103 @@
+// The DAG executor: runs an artifact graph (pipeline/graph.hpp) in pure
+// dependency order over the lab thread pool, with every cache layer
+// consulted per node:
+//
+//   compile node  →  session memo (cross-run, in-process)
+//   trace node    →  session memo, then the on-disk TraceStore
+//   sim node      →  the on-disk ResultCache (probed *before* its trace
+//                    node is demanded — a fully warm plan traces nothing)
+//
+// There are no phase barriers: each compile node's completion dispatches
+// its cells' cache probes, each probe miss demands its trace node, each
+// trace completion releases its waiting sims.  A Pipeline object is a
+// session — keep one alive (as the hiserved worker does) and compile and
+// trace artifacts are shared across every run() it serves; lab::run_plan
+// creates one per plan, which still shares nodes across the plan's cells
+// and, through the on-disk stores, across processes and daemon restarts.
+//
+// Determinism: results are indexed by cell and every node's output is
+// independent of scheduling, so run() is bit-identical for any pool size
+// including none (pool == nullptr executes nodes inline, depth-first).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lab/result_cache.hpp"
+#include "lab/thread_pool.hpp"
+#include "pipeline/graph.hpp"
+#include "pipeline/stats.hpp"
+#include "pipeline/trace_store.hpp"
+
+namespace hidisc::pipeline {
+
+class Pipeline {
+ public:
+  struct Stores {
+    const lab::ResultCache* results = nullptr;  // sim-node cache (optional)
+    const TraceStore* traces = nullptr;         // trace-node store (optional)
+    // Distrust every on-disk layer: probe nothing, overwrite everything.
+    // The in-process session memo still applies (identical artifacts).
+    bool refresh = false;
+  };
+
+  Pipeline() = default;
+  explicit Pipeline(Stores stores) : stores_(stores) {}
+
+  // Flips the refresh policy for subsequent runs.  The hiserved worker
+  // toggles this per job from the request's refresh flag; not safe to
+  // call concurrently with run().
+  void set_refresh(bool refresh) { stores_.refresh = refresh; }
+
+  struct Outcome {
+    std::vector<lab::CellResult> cells;  // parallel to the submitted cells
+    NodeStats nodes;
+  };
+
+  // Invoked (serialized) as each cell finishes, in completion order.
+  using CellHook = std::function<void(
+      std::size_t index, const lab::CellResult& result, std::size_t done,
+      std::size_t total, bool from_cache)>;
+
+  // Executes the node set for `cells`.  `pool` may be nullptr (inline
+  // serial execution; the hiserved worker path).  Never throws for
+  // per-cell failures — they land in the CellResult error slots.
+  [[nodiscard]] Outcome run(const std::vector<lab::Cell>& cells,
+                            lab::ThreadPool* pool,
+                            const CellHook& on_cell = {});
+
+  // Compile + trace without sim nodes: the bench harness's prepare path.
+  // Runs through the same artifact functions (and session memo) as run().
+  struct Prepared {
+    std::shared_ptr<const CompileArtifact> compile;
+    std::shared_ptr<const TraceArtifact> orig;  // null unless demanded
+    std::shared_ptr<const TraceArtifact> sep;   // null unless demanded
+  };
+  // Throws std::runtime_error on compile or trace failure (the direct
+  // bench path has no error slots to carry it).
+  [[nodiscard]] Prepared prepare(const isa::Program& program,
+                                 const compiler::CompileOptions& opt,
+                                 bool need_orig, bool need_sep);
+
+ private:
+  struct Exec;  // per-run executor state (executor.cpp)
+
+  [[nodiscard]] std::shared_ptr<const CompileArtifact> obtain_compile(
+      const CompileNode& n, bool* memo_hit);
+  [[nodiscard]] std::shared_ptr<const TraceArtifact> obtain_trace(
+      const std::string& key, const isa::Program& binary,
+      std::uint64_t max_steps, bool* hit);
+
+  Stores stores_;
+  std::mutex memo_mu_;
+  // Session memos, keyed by node content key; artifacts are immutable so
+  // sharing across runs (and across this session's threads) is free.
+  std::map<std::string, std::shared_ptr<const CompileArtifact>> compile_memo_;
+  std::map<std::string, std::shared_ptr<const TraceArtifact>> trace_memo_;
+};
+
+}  // namespace hidisc::pipeline

@@ -1,0 +1,55 @@
+#include "pipeline/graph.hpp"
+
+#include <map>
+#include <utility>
+
+#include "pipeline/keys.hpp"
+
+namespace hidisc::pipeline {
+
+Graph build_graph(const std::vector<lab::Cell>& cells) {
+  Graph g;
+  // std::map keeps deterministic construction order; the deques keep the
+  // node addresses these maps hand out stable.
+  std::map<std::string, CompileNode*> compile_by_key;
+  std::map<std::pair<const CompileNode*, Mode>, TraceNode*> trace_by_id;
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const lab::Cell& cell = cells[i];
+    const std::string ckey = compile_key(cell.workload, cell.compile);
+    CompileNode* cn;
+    if (const auto it = compile_by_key.find(ckey);
+        it != compile_by_key.end()) {
+      cn = it->second;
+    } else {
+      cn = &g.compiles.emplace_back();
+      cn->key = ckey;
+      cn->spec = cell.workload;
+      cn->options = cell.compile;
+      cn->display = cell.workload.name;
+      compile_by_key.emplace(ckey, cn);
+    }
+
+    const Mode mode = mode_for(cell.preset);
+    TraceNode* tn;
+    if (const auto it = trace_by_id.find({cn, mode});
+        it != trace_by_id.end()) {
+      tn = it->second;
+    } else {
+      tn = &g.traces.emplace_back();
+      tn->compile = cn;
+      tn->mode = mode;
+      cn->traces.push_back(tn);
+      trace_by_id.emplace(std::make_pair(cn, mode), tn);
+    }
+
+    SimNode* sn = &g.sims.emplace_back();
+    sn->trace = tn;
+    sn->cell = &cell;
+    sn->index = i;
+    cn->sims.push_back(sn);
+  }
+  return g;
+}
+
+}  // namespace hidisc::pipeline

@@ -1,0 +1,60 @@
+#include "pipeline/keys.hpp"
+
+#include "lab/fingerprint.hpp"
+
+namespace hidisc::pipeline {
+
+namespace {
+
+// Domain-separation prefixes: a compile key and a trace key that happen
+// to hash the same bytes must still never collide across phases.
+constexpr const char* kCompileTag = "pipeline.compile|";
+constexpr const char* kTraceTag = "pipeline.trace|";
+
+std::string two_stream_key(const char* tag,
+                           const std::vector<std::uint8_t>& bytes,
+                           const std::string& extra) {
+  lab::Fnv1a lo, hi(0x9e3779b97f4a7c15ull);
+  for (lab::Fnv1a* h : {&lo, &hi}) {
+    h->update(tag, std::char_traits<char>::length(tag));
+    h->update(bytes.data(), bytes.size());
+    h->update(extra);
+  }
+  return lab::hex128(lo, hi);
+}
+
+}  // namespace
+
+std::string compile_key(const lab::WorkloadSpec& spec,
+                        const compiler::CompileOptions& opt) {
+  lab::Fnv1a lo, hi(0x9e3779b97f4a7c15ull);
+  const std::string id = spec.id();
+  const std::string opt_desc = lab::describe(opt);
+  for (lab::Fnv1a* h : {&lo, &hi}) {
+    h->update(kCompileTag, std::char_traits<char>::length(kCompileTag));
+    h->update(id);
+    h->update(opt_desc);
+  }
+  return lab::hex128(lo, hi);
+}
+
+std::string compile_key(const std::vector<std::uint8_t>& program_image,
+                        const compiler::CompileOptions& opt) {
+  return two_stream_key(kCompileTag, program_image, lab::describe(opt));
+}
+
+std::string trace_key(const std::vector<std::uint8_t>& binary_image,
+                      std::uint64_t max_steps) {
+  return two_stream_key(kTraceTag, binary_image,
+                        "max_steps=" + std::to_string(max_steps) + ";");
+}
+
+std::string sim_key(const std::vector<std::uint8_t>& binary_image,
+                    machine::Preset preset,
+                    const machine::MachineConfig& cfg) {
+  // Deliberately NOT domain-tagged: sim keys are lab::content_key, the
+  // address of on-disk .result entries written since PR 1.
+  return lab::content_key_image(binary_image, preset, cfg);
+}
+
+}  // namespace hidisc::pipeline

@@ -1,0 +1,53 @@
+// Per-phase node accounting for the artifact pipeline (docs/PIPELINE.md).
+//
+// Every run of the DAG executor reports, for each node phase, how many
+// nodes existed in the graph and what happened to each: served from a
+// cache layer (memo / on-disk store / result cache), executed fresh, or
+// executed and failed.  The remainder (total - hits - rebuilt - failed)
+// are nodes the run never demanded — e.g. a trace node all of whose sim
+// consumers hit the result cache — or nodes poisoned by an upstream
+// failure.  These counters are the observable contract of cache
+// invalidation: a machine-preset-only change must show trace.rebuilt == 0
+// (CI's pipeline-invalidation job asserts exactly that from the JSON
+// export).
+#pragma once
+
+#include <cstdint>
+
+namespace hidisc::pipeline {
+
+struct PhaseStats {
+  std::uint64_t total = 0;    // nodes of this phase in the graph
+  std::uint64_t hits = 0;     // satisfied without executing (memo/store/cache)
+  std::uint64_t rebuilt = 0;  // executed this run
+  std::uint64_t failed = 0;   // executed and failed
+
+  // Nodes never demanded, or poisoned by an upstream failure.
+  [[nodiscard]] std::uint64_t skipped() const noexcept {
+    const std::uint64_t used = hits + rebuilt + failed;
+    return total > used ? total - used : 0;
+  }
+
+  PhaseStats& operator+=(const PhaseStats& o) noexcept {
+    total += o.total;
+    hits += o.hits;
+    rebuilt += o.rebuilt;
+    failed += o.failed;
+    return *this;
+  }
+};
+
+struct NodeStats {
+  PhaseStats compile;  // (workload spec | program, compile options) nodes
+  PhaseStats trace;    // (binary image, step budget) nodes
+  PhaseStats sim;      // (binary image, preset, machine config) nodes
+
+  NodeStats& operator+=(const NodeStats& o) noexcept {
+    compile += o.compile;
+    trace += o.trace;
+    sim += o.sim;
+    return *this;
+  }
+};
+
+}  // namespace hidisc::pipeline

@@ -115,6 +115,27 @@ ConnectedRun run_plan_connected(const PlanRequest& req,
   if (sim_ms > 0.0)
     out.run.sim_cycles_per_sec =
         static_cast<double>(sim_cycles) * 1000.0 / sim_ms;
+  // Reconstruct pipeline node stats: compile/trace work travels on the
+  // wire per cell (zeroed by the daemon for dedup/memo deliveries, so
+  // summing never double counts); the sim row is derivable locally from
+  // the delivery flags.  Totals for compile/trace are unknowable here —
+  // node sharing happens daemon-side — so they mirror the observed work.
+  {
+    pipeline::NodeStats& n = out.run.nodes;
+    for (const auto& c : out.run.cells) {
+      n.compile.rebuilt += c.compile_nodes_rebuilt;
+      n.trace.hits += c.trace_nodes_hit;
+      n.trace.rebuilt += c.trace_nodes_rebuilt;
+      ++n.sim.total;
+      if (!c.ok()) ++n.sim.failed;
+      else if (c.from_cache) ++n.sim.hits;
+      else ++n.sim.rebuilt;
+    }
+    n.compile.total = n.compile.hits + n.compile.rebuilt + n.compile.failed;
+    n.trace.total = n.trace.hits + n.trace.rebuilt + n.trace.failed;
+    out.run.preps = n.compile.rebuilt;
+    out.run.traces = n.trace.rebuilt;
+  }
   return out;
 }
 

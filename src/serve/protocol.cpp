@@ -231,6 +231,11 @@ KvMap cell_result_to_kv(const lab::CellResult& r) {
   kv["error"] = r.error;
   kv["error_class"] = r.error_class;
   kv["diagnostic"] = r.diagnostic_json;
+  // Pipeline provenance (node work behind this cell's job); the daemon
+  // zeroes these on dedup/memo deliveries.
+  kv["n.compile"] = format_u64(r.compile_nodes_rebuilt);
+  kv["n.trace_hit"] = format_u64(r.trace_nodes_hit);
+  kv["n.trace"] = format_u64(r.trace_nodes_rebuilt);
   if (r.ok())
     for (const auto& [name, value] : lab::result_to_fields(r.result))
       kv["r." + name] = value;
@@ -247,6 +252,10 @@ lab::CellResult cell_result_from_kv(const KvMap& kv) {
   r.error = kv_get(kv, "error");
   r.error_class = kv_get(kv, "error_class");
   r.diagnostic_json = kv_get(kv, "diagnostic");
+  r.compile_nodes_rebuilt =
+      static_cast<std::uint32_t>(kv_get_u64(kv, "n.compile"));
+  r.trace_nodes_hit = static_cast<std::uint32_t>(kv_get_u64(kv, "n.trace_hit"));
+  r.trace_nodes_rebuilt = static_cast<std::uint32_t>(kv_get_u64(kv, "n.trace"));
   if (r.ok()) {
     std::map<std::string, std::string> fields;
     for (const auto& [k, v] : kv)

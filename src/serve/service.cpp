@@ -105,6 +105,11 @@ struct Counters {
   std::uint64_t cross_client_shared_jobs = 0;
   std::uint64_t worker_restarts = 0;
   std::uint64_t worker_timeouts = 0;
+  // Pipeline node work aggregated over worker job completions (each job
+  // is a single-cell pipeline run; dedup/memo deliveries add nothing).
+  std::uint64_t compile_nodes_rebuilt = 0;
+  std::uint64_t trace_nodes_hit = 0;
+  std::uint64_t trace_nodes_rebuilt = 0;
   // Per-cell simulation latency (simulated cells only).
   std::uint64_t lat_count = 0;
   double lat_total_ms = 0, lat_min_ms = 0, lat_max_ms = 0;
@@ -295,6 +300,13 @@ void Service::deliver_cell(const Subscriber& sub, const lab::CellResult& res,
   kv["cell"] = std::to_string(sub.cell);
   kv["cached"] = (cached || res.from_cache) ? "1" : "0";
   kv["dedup"] = dedup ? "1" : "0";
+  if (dedup) {
+    // The node work behind this result was already reported to whichever
+    // delivery ran it; zero the provenance so clients can sum freely.
+    kv["n.compile"] = "0";
+    kv["n.trace_hit"] = "0";
+    kv["n.trace"] = "0";
+  }
   send_to_client(c, Frame{MsgType::CellDone, kv_encode(kv)});
 
   if (!res.ok()) ++ps.failed;
@@ -438,6 +450,9 @@ void Service::handle_worker_frame(std::size_t slot, const Frame& f) {
     return;
   lab::CellResult res = cell_result_from_kv(kv);
   ++n_.jobs_done;
+  n_.compile_nodes_rebuilt += res.compile_nodes_rebuilt;
+  n_.trace_nodes_hit += res.trace_nodes_hit;
+  n_.trace_nodes_rebuilt += res.trace_nodes_rebuilt;
   if (res.from_cache) {
     ++n_.disk_cache_hits;
   } else if (res.ok()) {
@@ -558,6 +573,9 @@ std::string Service::stats_json() const {
   num("mem_hits", n_.mem_hits);
   num("disk_cache_hits", n_.disk_cache_hits);
   num("cross_client_shared_jobs", n_.cross_client_shared_jobs);
+  num("compile_nodes_rebuilt", n_.compile_nodes_rebuilt);
+  num("trace_nodes_hit", n_.trace_nodes_hit);
+  num("trace_nodes_rebuilt", n_.trace_nodes_rebuilt);
   out += "  \"cell_latency_ms\": {\"count\": " +
          std::to_string(n_.lat_count) +
          ", \"total\": " + lab::format_double(n_.lat_total_ms) +

@@ -1,25 +1,8 @@
 #include "serve/worker.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
-#include "diag/deadlock.hpp"
-#include "lab/fingerprint.hpp"
-#include "machine/machine.hpp"
-#include "sim/functional.hpp"
-
 namespace hidisc::serve {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
-
-}  // namespace
 
 lab::ExperimentPlan materialize_plan(const PlanRequest& req) {
   workloads::Scale scale;
@@ -36,109 +19,41 @@ lab::ExperimentPlan materialize_plan(const PlanRequest& req) {
   return plan;
 }
 
-struct CellExecutor::Prep {
-  compiler::Compilation comp;
-  std::optional<std::string> error;  // compile failure, sticky
-  // Traces are built lazily, once each, on the first cell that needs
-  // them; a trace failure is sticky too (retrying is the daemon's call,
-  // via a fresh worker).
-  bool have_orig = false, have_sep = false;
-  sim::Trace orig_trace, sep_trace;
-  std::optional<std::string> error_orig, error_sep;
-};
-
 CellExecutor::CellExecutor(std::string cache_dir) {
-  if (!cache_dir.empty()) cache_.emplace(std::move(cache_dir));
+  if (!cache_dir.empty()) {
+    results_.emplace(cache_dir);
+    traces_.emplace(cache_dir);
+  }
+  pipeline::Pipeline::Stores stores;
+  stores.results = results_ ? &*results_ : nullptr;
+  stores.traces = traces_ ? &*traces_ : nullptr;
+  pipe_.emplace(stores);
 }
 
 CellExecutor::~CellExecutor() = default;
 
-CellExecutor::Prep& CellExecutor::prep_for(const lab::Cell& cell,
-                                           lab::CellResult& out) {
-  const std::string key = cell.workload.id() + "|" + lab::describe(cell.compile);
-  auto it = preps_.find(key);
-  if (it == preps_.end()) {
-    auto prep = std::make_unique<Prep>();
-    try {
-      const workloads::BuiltWorkload w = cell.workload.build();
-      prep->comp = compiler::compile(w.program, cell.compile);
-    } catch (const std::exception& e) {
-      prep->error = e.what();
-    }
-    it = preps_.emplace(key, std::move(prep)).first;
-  }
-  Prep& p = *it->second;
-  if (p.error) {
-    out.error = "prep " + cell.workload.name + " failed: " + *p.error;
-    out.error_class = "prep";
-  }
-  return p;
-}
-
 lab::CellResult CellExecutor::execute(const JobSpec& spec) {
   const lab::ExperimentPlan plan = materialize_plan(spec.plan);
-  const lab::Cell& cell = plan.cells.at(spec.cell);
-  lab::CellResult out;
+  if (spec.cell >= plan.cells.size())
+    throw std::out_of_range("hiserve: cell index out of range");
 
-  Prep& prep = prep_for(cell, out);
-  if (!out.ok()) return out;
+  // A single-cell node set, executed inline (no pool): the worker is the
+  // parallelism unit, the daemon runs many of us.  The session memo and
+  // the on-disk stores carry compile/trace artifacts across jobs.
+  pipe_->set_refresh(spec.plan.refresh);
+  const std::vector<lab::Cell> cells{plan.cells[spec.cell]};
+  pipeline::Pipeline::Outcome outcome = pipe_->run(cells, nullptr);
 
-  const bool sep = machine::uses_separated_binary(cell.preset);
-  const isa::Program& binary = sep ? prep.comp.separated : prep.comp.original;
-  out.key = lab::content_key(binary, cell.preset, cell.config);
-  out.orig_dynamic_instructions = prep.comp.profile.dynamic_instructions;
-
-  if (cache_ && !spec.plan.refresh) {
-    if (auto hit = cache_->load(out.key)) {
-      out.result = hit->result;
-      out.orig_dynamic_instructions = hit->orig_dynamic_instructions;
-      out.from_cache = true;
-      return out;
-    }
-  }
-
-  // Trace (lazy, memoized per prep).
-  auto& have = sep ? prep.have_sep : prep.have_orig;
-  auto& trace = sep ? prep.sep_trace : prep.orig_trace;
-  auto& trace_err = sep ? prep.error_sep : prep.error_orig;
-  if (!have && !trace_err) {
-    try {
-      sim::Functional f(binary);
-      trace = f.run_trace(cell.compile.max_steps);
-      have = true;
-    } catch (const std::exception& e) {
-      trace_err = e.what();
-    }
-  }
-  if (trace_err) {
-    out.error = "trace " + cell.workload.name + " failed: " + *trace_err;
-    out.error_class = "trace";
-    return out;
-  }
-
-  const auto start = Clock::now();
-  try {
-    out.result = machine::run_machine(binary, trace, cell.preset, cell.config);
-  } catch (const diag::DeadlockError& e) {
-    out.error = e.what();
-    out.error_class =
-        std::string("deadlock:") + diag::cause_name(e.report().cause);
-    out.diagnostic_json = e.report().to_json();
-    return out;
-  } catch (const std::exception& e) {
-    out.error = e.what();
-    out.error_class = "sim";
-    return out;
-  }
-  out.wall_ms = ms_since(start);
-  if (out.wall_ms > 0.0)
-    out.sim_cycles_per_sec =
-        static_cast<double>(out.result.cycles) * 1000.0 / out.wall_ms;
-  if (cache_)
-    cache_->store(out.key,
-                  lab::CacheEntry{out.result, cell.workload.name,
-                                  machine::preset_name(cell.preset),
-                                  out.orig_dynamic_instructions});
+  lab::CellResult out = std::move(outcome.cells.at(0));
+  // Per-cell provenance is well-defined here — every node the run touched
+  // was for this one cell — so connected clients can aggregate pipeline
+  // stats by summing these over delivered cells (the daemon zeroes them
+  // on dedup/memo deliveries to avoid double counting).
+  out.compile_nodes_rebuilt =
+      static_cast<std::uint32_t>(outcome.nodes.compile.rebuilt);
+  out.trace_nodes_hit = static_cast<std::uint32_t>(outcome.nodes.trace.hits);
+  out.trace_nodes_rebuilt =
+      static_cast<std::uint32_t>(outcome.nodes.trace.rebuilt);
   return out;
 }
 

@@ -3,11 +3,13 @@
 //
 // The loop is deliberately boring: recv Job frame -> execute the named
 // plan cell -> send JobDone frame, until Shutdown or EOF.  All heavy
-// state is process-local: a CellExecutor memoizes compilations and
-// functional traces by prep identity across jobs (the same memoization
-// the lab runner does per plan, amortized across every job this worker
-// ever runs), and probes/publishes the shared on-disk ResultCache, whose
-// advisory-locked atomic-rename store makes concurrent workers safe.
+// state is process-local: the CellExecutor keeps one pipeline session
+// (src/pipeline/) alive for its whole life, so compile and trace
+// artifacts are content-addressed and shared across every job this
+// worker ever runs — the same DAG the lab runner executes per plan,
+// amortized across jobs — and it probes/publishes the shared on-disk
+// ResultCache and TraceStore, whose advisory-locked atomic-rename
+// stores make concurrent workers safe.
 //
 // Cell failures are data, not worker deaths: prep/trace/sim errors and
 // classified deadlocks travel back in the JobDone error slots exactly as
@@ -18,38 +20,39 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <optional>
 #include <string>
 
 #include "lab/plan.hpp"
 #include "lab/result_cache.hpp"
 #include "lab/runner.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/trace_store.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
 
 namespace hidisc::serve {
 
-// Executes single cells with cross-job prep memoization.  Used by the
-// worker loop; exposed for unit tests.
+// Executes single cells through a persistent pipeline session (cross-job
+// compile/trace artifact sharing).  Used by the worker loop; exposed for
+// unit tests.
 class CellExecutor {
  public:
-  // `cache_dir` empty disables the persistent cache.
+  // `cache_dir` empty disables the persistent cache and trace store.
   explicit CellExecutor(std::string cache_dir);
   ~CellExecutor();
 
-  // Runs one cell of (a fresh rebuild of) the referenced plan.  Never
-  // throws for per-cell failures — they land in the error slots.  Throws
-  // std::out_of_range for an unknown plan name or cell index.
+  // Runs one cell of (a fresh rebuild of) the referenced plan as a
+  // single-node-set pipeline submission, and fills the CellResult's
+  // pipeline provenance counters (compile/trace node work for this job).
+  // Never throws for per-cell failures — they land in the error slots.
+  // Throws std::out_of_range for an unknown plan name or cell index.
   [[nodiscard]] lab::CellResult execute(const JobSpec& spec);
 
  private:
-  struct Prep;  // compilation + traces for one (workload, options) pair
-  Prep& prep_for(const lab::Cell& cell, lab::CellResult& out);
-
-  std::map<std::string, std::unique_ptr<Prep>> preps_;
-  std::optional<lab::ResultCache> cache_;
+  std::optional<lab::ResultCache> results_;
+  std::optional<pipeline::TraceStore> traces_;
+  std::optional<pipeline::Pipeline> pipe_;
 };
 
 // Rebuilds the plan a PlanRequest names and applies its overrides;

@@ -32,6 +32,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "lab/export.hpp"
 #include "lab/plan.hpp"
@@ -60,6 +61,13 @@ int usage(const char* argv0) {
       "  --refresh         ignore existing cache entries, overwrite them\n"
       "  --watchdog N      override every cell's watchdog threshold\n"
       "  --lockstep        force the Lockstep scheduler on every cell\n"
+      "  --override P:F=V  set machine-config field F to integer V on every\n"
+      "                    cell whose preset is P ('*' = all presets);\n"
+      "                    fields: dram, l2, fetch_width, watchdog.\n"
+      "                    Participates in content keys, so overridden runs\n"
+      "                    never alias normal cache entries (their traces\n"
+      "                    still do — config never reaches trace nodes).\n"
+      "                    Local runs only (repeatable)\n"
       "  --connect EP      run on a hiserved daemon at EP (socket path or\n"
       "                    tcp:HOST:PORT) instead of in this process\n"
       "  --service-stats F with --connect: fetch the daemon's stats JSON\n"
@@ -95,6 +103,47 @@ int unknown_plan(const std::string& name) {
   return 2;
 }
 
+// Applies one `PRESET:FIELD=VALUE` machine-config override to every cell
+// whose preset name matches (or every cell, for '*').  Drives the CI
+// cache-invalidation check: a preset-scoped config change must rerun
+// exactly that preset's sim nodes while every trace node stays warm.
+void apply_override(lab::ExperimentPlan& plan, const std::string& spec) {
+  const auto colon = spec.find(':');
+  const auto eq = spec.find('=', colon == std::string::npos ? 0 : colon);
+  if (colon == std::string::npos || eq == std::string::npos || eq < colon)
+    throw std::runtime_error("--override needs PRESET:FIELD=VALUE, got '" +
+                             spec + "'");
+  const std::string preset = spec.substr(0, colon);
+  const std::string field = spec.substr(colon + 1, eq - colon - 1);
+  const std::string value_str = spec.substr(eq + 1);
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(value_str);
+  } catch (const std::exception&) {
+    throw std::runtime_error("--override value must be an integer, got '" +
+                             value_str + "'");
+  }
+  bool matched = false;
+  for (auto& cell : plan.cells) {
+    if (preset != "*" && preset != machine::preset_name(cell.preset))
+      continue;
+    matched = true;
+    if (field == "dram") cell.config.mem.dram_latency = static_cast<int>(value);
+    else if (field == "l2")
+      cell.config.mem.l2.hit_latency = static_cast<int>(value);
+    else if (field == "fetch_width")
+      cell.config.fetch_width = static_cast<int>(value);
+    else if (field == "watchdog") cell.config.watchdog_cycles = value;
+    else
+      throw std::runtime_error("--override: unknown field '" + field +
+                               "' (fields: dram, l2, fetch_width, watchdog)");
+  }
+  if (!matched)
+    throw std::runtime_error("--override: no cell has preset '" + preset +
+                             "' (presets: Superscalar, CP+AP, CP+CMP, "
+                             "HiDISC, or '*')");
+}
+
 // Google-benchmark-shaped JSON so tools/perf_gate.py --append-trajectory
 // can record service/local plan throughput next to BM_FullMachine.
 void write_bench_json(const std::string& path, const std::string& name,
@@ -120,6 +169,7 @@ void write_bench_json(const std::string& path, const std::string& name,
 int main(int argc, char** argv) {
   std::string plan_name, json_path, csv_path, connect_ep, stats_path;
   std::string bench_json, bench_name;
+  std::vector<std::string> overrides;
   std::string cache_dir = ".hilab-cache";
   workloads::Scale scale = workloads::Scale::Paper;
   std::string scale_str = "paper";
@@ -166,6 +216,7 @@ int main(int argc, char** argv) {
           throw std::runtime_error("--watchdog must be >= 1");
       }
       else if (arg == "--lockstep") lockstep = true;
+      else if (arg == "--override") overrides.push_back(value());
       else if (arg == "--connect") connect_ep = value();
       else if (arg == "--service-stats") stats_path = value();
       else if (arg == "--json") json_path = value();
@@ -187,6 +238,13 @@ int main(int argc, char** argv) {
   }
   if (!stats_path.empty() && connect_ep.empty()) {
     std::fprintf(stderr, "hilab: --service-stats needs --connect\n");
+    return 2;
+  }
+  if (!overrides.empty() && !connect_ep.empty()) {
+    // The daemon materializes plans from the registry by name; ad-hoc
+    // config mutations have no wire representation (deliberately — they
+    // would defeat cross-client dedup).
+    std::fprintf(stderr, "hilab: --override is local-only (drop --connect)\n");
     return 2;
   }
 
@@ -213,6 +271,12 @@ int main(int argc, char** argv) {
         if (lockstep)
           cell.config.scheduler = machine::SchedulerKind::Lockstep;
       }
+    try {
+      for (const auto& spec : overrides) apply_override(plan, spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hilab: %s\n", e.what());
+      return 2;
+    }
 
     const auto progress = [](const lab::Cell& cell, std::size_t done,
                              std::size_t total, bool from_cache) {
@@ -285,6 +349,14 @@ int main(int argc, char** argv) {
       if (run.sim_cycles_per_sec > 0.0)
         std::printf("; %.2f Mcycles/s", run.sim_cycles_per_sec / 1e6);
       std::printf("\n");
+      const pipeline::NodeStats& n = run.nodes;
+      std::printf(
+          "pipeline nodes: compile %zu/%zu rebuilt (%zu cached), "
+          "trace %zu/%zu rebuilt (%zu cached), "
+          "sim %zu/%zu rebuilt (%zu cached)\n",
+          n.compile.rebuilt, n.compile.total, n.compile.hits,
+          n.trace.rebuilt, n.trace.total, n.trace.hits,
+          n.sim.rebuilt, n.sim.total, n.sim.hits);
     }
 
     const lab::ExportMeta meta{threads};

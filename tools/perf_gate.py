@@ -30,11 +30,20 @@ repo accumulates an items/sec history across commits:
         --append-trajectory BENCH_throughput.json --commit "$GITHUB_SHA"
 
 Each entry is {"commit", "benchmarks": {name: {"items_per_second",
-"sim_cycles_per_sec"}}}.  The throughput benchmarks report simulated
-cycles as items, so the two rates coincide there; both are written so the
-trajectory stays meaningful if items ever change meaning.  The append
-happens even when the gate then fails — a regression is exactly the data
-point the trajectory exists to show.
+"sim_cycles_per_sec"}}}, plus "label" when --label names the leg (one
+commit can contribute several legs: the machine microbenchmarks, the
+service-mode plan timings, the pipeline cold/warm timings).  The
+throughput benchmarks report simulated cycles as items, so the two rates
+coincide there; both are written so the trajectory stays meaningful if
+items ever change meaning.  The append happens even when the gate then
+fails — a regression is exactly the data point the trajectory exists to
+show.
+
+Trajectory hygiene: the commit id must be a real git hex id.  In CI
+(when $CI is set) a missing or placeholder commit id is a hard error —
+an entry recorded as "local" can never be correlated with a commit
+again.  Outside CI the placeholder is allowed (with a warning) so local
+experiments still work.
 """
 
 import argparse
@@ -63,7 +72,13 @@ def load_items_per_second(path):
     return {**plain, **medians}
 
 
-def append_trajectory(path, commit, current):
+def is_real_commit_id(commit):
+    """A plausible (abbreviated or full) git hex object id."""
+    return (isinstance(commit, str) and 7 <= len(commit) <= 40
+            and all(c in "0123456789abcdef" for c in commit.lower()))
+
+
+def append_trajectory(path, commit, current, label=None):
     """Append one {commit, benchmarks} entry to the trajectory JSON list."""
     try:
         with open(path) as f:
@@ -74,13 +89,16 @@ def append_trajectory(path, commit, current):
             return 1
     except FileNotFoundError:
         history = []
-    history.append({
+    entry = {
         "commit": commit,
         "benchmarks": {
             name: {"items_per_second": ips, "sim_cycles_per_sec": ips}
             for name, ips in sorted(current.items())
         },
-    })
+    }
+    if label:
+        entry["label"] = label
+    history.append(entry)
     with open(path, "w") as f:
         json.dump(history, f, indent=2)
         f.write("\n")
@@ -101,7 +119,11 @@ def main():
                     help="append this run's rates to a trajectory JSON list")
     ap.add_argument("--commit", default=None,
                     help="commit id for the trajectory entry "
-                         "(default: $GITHUB_SHA, else 'local')")
+                         "(default: $GITHUB_SHA; 'local' placeholder is "
+                         "rejected when $CI is set)")
+    ap.add_argument("--label", default=None,
+                    help="name this trajectory leg (e.g. service-mode, "
+                         "pipeline) so one commit can carry several entries")
     args = ap.parse_args()
 
     current = load_items_per_second(args.current)
@@ -112,7 +134,17 @@ def main():
 
     if args.append_trajectory:
         commit = args.commit or os.environ.get("GITHUB_SHA") or "local"
-        rc = append_trajectory(args.append_trajectory, commit, current)
+        if not is_real_commit_id(commit):
+            if os.environ.get("CI"):
+                print(f"perf_gate: refusing to append trajectory entry with "
+                      f"commit id '{commit}' in CI — pass --commit or set "
+                      "GITHUB_SHA to the real commit", file=sys.stderr)
+                return 2
+            print(f"perf_gate: warning: '{commit}' is not a git commit id; "
+                  "this entry cannot be correlated with history",
+                  file=sys.stderr)
+        rc = append_trajectory(args.append_trajectory, commit, current,
+                               args.label)
         if rc != 0:
             return rc
 
