@@ -99,13 +99,20 @@ struct MachineVerdict {
 
 // Runs `preset` under both schedulers and checks every machine-level
 // invariant.  `bin`/`tr` must be the preset-appropriate binary and trace.
+// `prefetch`, when non-null, arms the hardware prefetcher with that spec —
+// the prefetch stream then participates in every scheduler-equivalence and
+// queue-balance check, under a signature that names the scheme.
 void check_preset(MachineVerdict& v, const isa::Program& bin,
                   const sim::Trace& tr, machine::Preset preset,
-                  std::uint64_t watchdog, bool check_balance = true) {
+                  std::uint64_t watchdog, bool check_balance = true,
+                  const char* prefetch = nullptr) {
   if (v.deadlock || v.stage != Stage::Ok) return;
-  const char* name = machine::preset_name(preset);
+  std::string name = machine::preset_name(preset);
+  if (prefetch != nullptr) name += std::string("+pf(") + prefetch + ")";
   machine::MachineConfig cfg;
   cfg.watchdog_cycles = watchdog;
+  if (prefetch != nullptr)
+    cfg.mem.prefetch = mem::parse_prefetch_spec(prefetch);
   machine::Result es, ls;
   try {
     cfg.scheduler = machine::SchedulerKind::EventSkip;
@@ -305,6 +312,12 @@ OracleReport run_oracles(const std::string& source, const OracleOptions& opt) {
                  opt.watchdog);
     check_preset(mv, comp.separated, sep_trace, machine::Preset::HiDISC,
                  opt.watchdog);
+    // Hardware-prefetcher variants: the prefetch stream must preserve
+    // scheduler bit-identity and queue balance on both binary shapes.
+    check_preset(mv, comp.original, orig_trace, machine::Preset::Superscalar,
+                 opt.watchdog, /*check_balance=*/true, "ipstride:deg4");
+    check_preset(mv, comp.separated, sep_trace, machine::Preset::CPAP,
+                 opt.watchdog, /*check_balance=*/true, "sms:region4");
   }
 
   // 8. Decide, in severity order, with the verify/machine agreement

@@ -75,6 +75,12 @@ class Describer {
     cache((p + ".l2").c_str(), m.l2);
     field((p + ".dram").c_str(), m.dram_latency);
     field((p + ".bus").c_str(), m.l2_bus_cycles);
+    // Appended only when a prefetcher is enabled: pre-prefetcher keys stay
+    // valid, and perturbing a knob of a *disabled* prefetcher (which cannot
+    // change the simulation) leaves the key untouched.  The canonical spec
+    // string already omits knobs at their defaults.
+    if (m.prefetch.kind != mem::PrefetchKind::None)
+      field((p + ".pf").c_str(), mem::prefetch_spec(m.prefetch));
   }
 
   [[nodiscard]] std::string take() { return std::move(out_); }

@@ -122,6 +122,36 @@ ExperimentPlan plan_fig10(workloads::Scale scale) {
   return plan;
 }
 
+ExperimentPlan plan_prefetch(workloads::Scale scale) {
+  // The four paper presets, plus CP+AP with a hardware prefetcher on the
+  // L1D — "would a conventional prefetcher beat the CMP?" across the
+  // Fig. 10 latency sweep.  The pf cells reuse the CPAP preset with a
+  // distinct "+pf" tag so find() keeps the curves apart.
+  ExperimentPlan plan{"prefetch",
+                      "superscalar / CP+AP / CP+CMP / HiDISC / CP+AP+hw-"
+                      "prefetch across the (L2, DRAM) latency sweep",
+                      {}};
+  mem::PrefetchConfig pf;
+  pf.kind = mem::PrefetchKind::IpStride;
+  pf.degree = 2;
+  pf.distance = 4;
+  for (const auto& w : {spec("Pointer", scale), spec("Neighborhood", scale)})
+    for (const auto& [l2, dram] : std::vector<std::pair<int, int>>{
+             {4, 40}, {8, 80}, {12, 120}, {16, 160}}) {
+      machine::MachineConfig cfg;
+      cfg.mem = mem::MemConfig::with_latencies(l2, dram);
+      const std::string tag =
+          std::to_string(l2) + "/" + std::to_string(dram);
+      for (const auto preset : all_presets())
+        plan.cells.push_back(Cell{w, preset, cfg, {}, tag});
+      machine::MachineConfig pf_cfg = cfg;
+      pf_cfg.mem.prefetch = pf;
+      plan.cells.push_back(
+          Cell{w, machine::Preset::CPAP, pf_cfg, {}, tag + "+pf"});
+    }
+  return plan;
+}
+
 ExperimentPlan plan_paper(workloads::Scale scale) {
   ExperimentPlan plan{"paper", "the full paper evaluation suite", {}};
   for (const auto& sub :
@@ -151,7 +181,7 @@ ExperimentPlan latency_sweep(
 
 const std::vector<std::string>& plan_names() {
   static const std::vector<std::string> names = {
-      "fig8", "fig9", "fig10", "table2", "extra", "paper"};
+      "fig8", "fig9", "fig10", "table2", "extra", "paper", "prefetch"};
   return names;
 }
 
@@ -162,6 +192,7 @@ ExperimentPlan make_plan(const std::string& name, workloads::Scale scale) {
   if (name == "table2") return plan_table2(scale);
   if (name == "extra") return plan_extra(scale);
   if (name == "paper") return plan_paper(scale);
+  if (name == "prefetch") return plan_prefetch(scale);
   throw std::out_of_range("unknown plan: " + name +
                           " (try `hilab --list`)");
 }

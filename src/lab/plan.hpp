@@ -92,6 +92,11 @@ struct ExperimentPlan {
 // Union of every paper plan: the whole evaluation in one invocation.
 [[nodiscard]] ExperimentPlan plan_paper(
     workloads::Scale scale = workloads::Scale::Paper);
+// The Fig. 10 sweep plus a fifth curve: CP+AP with a hardware prefetcher
+// on the L1D (tag suffix "+pf"), answering "would a conventional
+// prefetcher beat the CMP?".
+[[nodiscard]] ExperimentPlan plan_prefetch(
+    workloads::Scale scale = workloads::Scale::Paper);
 
 // Arbitrary sweep builder: every workload x preset x (l2, dram) latency
 // point, tagged "l2/dram".

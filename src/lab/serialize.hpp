@@ -80,6 +80,16 @@ void visit_result_fields(R& r, V&& v) {
   v(std::string("ipc"), r.ipc);
   detail::visit_cache_stats("l1", r.l1, v);
   detail::visit_cache_stats("l2", r.l2, v);
+  v(std::string("pf.trains"), r.pf.trains);
+  v(std::string("pf.issued"), r.pf.issued);
+  v(std::string("pf.filtered"), r.pf.filtered);
+  v(std::string("pf.installed"), r.pf.installed);
+  v(std::string("pf.used"), r.pf.used);
+  v(std::string("pf.late"), r.pf.late);
+  v(std::string("pf.evicted_unused"), r.pf.evicted_unused);
+  v(std::string("pf.accuracy"), r.pf_accuracy);
+  v(std::string("pf.coverage"), r.pf_coverage);
+  v(std::string("pf.lateness"), r.pf_lateness);
   v(std::string("branch.lookups"), r.branch.lookups);
   v(std::string("branch.mispredicts"), r.branch.mispredicts);
   v(std::string("has_main"), r.has_main);

@@ -605,6 +605,17 @@ Result Machine::collect(std::uint64_t cycles) const {
   r.cycles = cycles;
   r.l1 = memsys_.l1().stats();
   r.l2 = memsys_.l2().stats();
+  r.pf = memsys_.hw_prefetch_stats();
+  r.pf_accuracy = r.pf.accuracy();
+  r.pf_lateness = r.pf.lateness();
+  // Coverage: timely prefetch hits over the misses there would have been
+  // without them (the remaining demand misses plus the hits prefetching
+  // converted).
+  const std::uint64_t timely = r.pf.timely();
+  const std::uint64_t denom = timely + r.l1.demand_misses();
+  r.pf_coverage =
+      denom == 0 ? 0.0
+                 : static_cast<double>(timely) / static_cast<double>(denom);
   r.branch = predictor_.stats();
   if (main_) {
     r.has_main = true;

@@ -55,6 +55,14 @@ std::string render_report(const machine::Result& r) {
       << "  L2: " << r.l2.demand_accesses() << " accesses, "
       << r.l2.demand_misses() << " misses (rate "
       << stats::Table::num(r.l2.demand_miss_rate(), 3) << ")\n";
+  if (r.pf.trains > 0)
+    out << "  HW prefetch: " << r.pf.issued << " issued ("
+        << r.pf.filtered << " filtered), " << r.pf.installed
+        << " installed, " << r.pf.used << " used (" << r.pf.late
+        << " late), " << r.pf.evicted_unused << " evicted unused\n"
+        << "      accuracy " << stats::Table::num(r.pf_accuracy, 3)
+        << ", coverage " << stats::Table::num(r.pf_coverage, 3)
+        << ", lateness " << stats::Table::num(r.pf_lateness, 3) << "\n";
 
   out << "== branches ==\n"
       << "  " << r.branch.lookups << " conditional lookups, "

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "mem/cache.hpp"
+#include "mem/prefetcher.hpp"
 #include "uarch/branch_predictor.hpp"
 #include "uarch/core.hpp"
 #include "uarch/timed_fifo.hpp"
@@ -18,6 +19,14 @@ struct Result {
   mem::CacheStats l1;
   mem::CacheStats l2;
   uarch::BranchStats branch;
+
+  // Hardware-prefetcher accounting (all-zero when mem.prefetch is None).
+  // The derived ratios are stored, not recomputed, so cache round-trips
+  // stay bit-exact.
+  mem::HwPrefetchStats pf;
+  double pf_accuracy = 0.0;  // used / installed
+  double pf_coverage = 0.0;  // timely / (timely + L1 demand misses)
+  double pf_lateness = 0.0;  // late / used
 
   // Core stats; presence depends on the preset.
   bool has_main = false, has_cp = false, has_ap = false, has_cmp = false;

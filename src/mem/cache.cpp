@@ -21,6 +21,12 @@ void Cache::reset() {
   stamp_ = 0;
 }
 
+void Cache::debug_outstanding_readys(std::uint64_t now,
+                                     std::vector<std::uint64_t>& out) const {
+  for (const auto& line : lines_)
+    if (line.valid && line.ready > now) out.push_back(line.ready);
+}
+
 bool Cache::contains(std::uint64_t addr) const {
   const std::uint64_t block = block_of(addr);
   const auto set = static_cast<std::size_t>(block & (cfg_.sets - 1));
@@ -59,7 +65,11 @@ LookupResult Cache::access(std::uint64_t addr, AccessType type,
       const bool was_prefetched = line.prefetched;
       if (line.prefetched) {
         if (!in_flight) ++stats_.useful_prefetches;
-        if (line.pf_group >= 0) ++pf_groups_[line.pf_group].used;
+        if (line.pf_group >= 0) {
+          auto& g = pf_groups_[line.pf_group];
+          ++g.used;
+          if (in_flight) ++g.late;
+        }
         line.prefetched = false;
         line.pf_group = -1;
       }

@@ -86,12 +86,19 @@ class Cache {
   struct PrefetchGroupStats {
     std::uint64_t installed = 0;
     std::uint64_t used = 0;            // demand-touched (timely or late)
+    std::uint64_t late = 0;            // ... while the fill was in flight
     std::uint64_t evicted_unused = 0;  // evicted before any demand touch
   };
   [[nodiscard]] const std::unordered_map<std::int16_t, PrefetchGroupStats>&
   prefetch_group_stats() const noexcept {
     return pf_groups_;
   }
+
+  // Appends the `ready` cycle of every valid line whose fill is still in
+  // flight at `now`.  Debug-only: lets MemorySystem::debug_check_invariants
+  // recompute the fill frontier from first principles.
+  void debug_outstanding_readys(std::uint64_t now,
+                                std::vector<std::uint64_t>& out) const;
 
   void reset();
 

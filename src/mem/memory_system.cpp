@@ -1,11 +1,17 @@
 #include "mem/memory_system.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace hidisc::mem {
 
 MemorySystem::MemorySystem(const MemConfig& cfg)
-    : cfg_(cfg), l1_(cfg.l1), l1i_(cfg.l1i), l2_(cfg.l2) {}
+    : cfg_(cfg),
+      l1_(cfg.l1),
+      l1i_(cfg.l1i),
+      l2_(cfg.l2),
+      prefetcher_(make_prefetcher(cfg.prefetch, cfg.l1.block_bytes)) {}
 
 void MemorySystem::reset() {
   l1_.reset();
@@ -14,12 +20,50 @@ void MemorySystem::reset() {
   bus_free_ = 0;
   bus_busy_cycles_ = 0;
   profile_.clear();
-  fills_ = {};
+  fills_.clear();
+  if (prefetcher_) prefetcher_->reset();
+  pf_ = HwPrefetchStats{};
 }
 
 std::uint64_t MemorySystem::next_fill_complete(std::uint64_t now) {
-  while (!fills_.empty() && fills_.top() <= now) fills_.pop();
-  return fills_.empty() ? kNoFill : fills_.top();
+  while (!fills_.empty() && fills_.front() <= now) {
+    std::pop_heap(fills_.begin(), fills_.end(), std::greater<>{});
+    fills_.pop_back();
+  }
+  return fills_.empty() ? kNoFill : fills_.front();
+}
+
+void MemorySystem::debug_check_invariants(std::uint64_t now) const {
+  if (!track_fills_) return;
+  const auto fail = [](const std::string& what) {
+    throw std::logic_error("memsys: invariant violated: " + what);
+  };
+  if (!std::is_heap(fills_.begin(), fills_.end(), std::greater<>{}))
+    fail("fill events not a min-heap");
+  // Recompute the fill frontier from the cache lines themselves: any line
+  // still filling must have its completion cycle in the event heap, or
+  // next_fill_complete could return a later cycle and the scheduler would
+  // skip the fill.
+  std::vector<std::uint64_t> outstanding;
+  l1_.debug_outstanding_readys(now, outstanding);
+  l1i_.debug_outstanding_readys(now, outstanding);
+  l2_.debug_outstanding_readys(now, outstanding);
+  for (const auto ready : outstanding)
+    if (std::find(fills_.begin(), fills_.end(), ready) == fills_.end())
+      fail("in-flight fill at cycle " + std::to_string(ready) +
+           " missing from event heap");
+}
+
+HwPrefetchStats MemorySystem::hw_prefetch_stats() const {
+  HwPrefetchStats s = pf_;
+  const auto& groups = l1_.prefetch_group_stats();
+  if (const auto it = groups.find(kHwPrefetchGroup); it != groups.end()) {
+    s.installed = it->second.installed;
+    s.used = it->second.used;
+    s.late = it->second.late;
+    s.evicted_unused = it->second.evicted_unused;
+  }
+  return s;
 }
 
 std::uint64_t MemorySystem::claim_bus(std::uint64_t now) {
@@ -28,6 +72,31 @@ std::uint64_t MemorySystem::claim_bus(std::uint64_t now) {
   bus_free_ = start + static_cast<std::uint64_t>(cfg_.l2_bus_cycles);
   bus_busy_cycles_ += static_cast<std::uint64_t>(cfg_.l2_bus_cycles);
   return start;
+}
+
+void MemorySystem::train_prefetcher(std::uint64_t addr, AccessType type,
+                                    std::uint64_t now,
+                                    std::int32_t static_idx, bool l1_hit) {
+  ++pf_.trains;
+  PrefetchAccess ev;
+  ev.addr = addr;
+  ev.block = addr / static_cast<std::uint64_t>(cfg_.l1.block_bytes);
+  ev.pc = static_idx;
+  ev.now = now;
+  ev.l1_hit = l1_hit;
+  ev.write = type == AccessType::Write;
+  pf_buf_.clear();
+  prefetcher_->observe(ev, pf_buf_);
+  for (const auto cand : pf_buf_) {
+    if (l1_.contains(cand)) {
+      ++pf_.filtered;
+      continue;
+    }
+    ++pf_.issued;
+    // Recursion is shallow and safe: prefetch accesses never re-enter the
+    // trainer (they are not demand traffic) and never touch pf_buf_.
+    access(cand, AccessType::Prefetch, now, -1, kHwPrefetchGroup);
+  }
 }
 
 AccessResult MemorySystem::fetch_access(std::uint64_t addr,
@@ -75,6 +144,8 @@ AccessResult MemorySystem::access(std::uint64_t addr, AccessType type,
     const auto wait =
         r1.ready > now ? static_cast<int>(r1.ready - now) : 0;
     out.latency = cfg_.l1.hit_latency + wait;
+    if (demand && prefetcher_)
+      train_prefetcher(addr, type, now, static_idx, /*l1_hit=*/true);
     return out;
   }
 
@@ -115,6 +186,10 @@ AccessResult MemorySystem::access(std::uint64_t addr, AccessType type,
   note_fill(data_ready, now);
   const auto wait = data_ready > now ? static_cast<int>(data_ready - now) : 0;
   out.latency = std::max(cfg_.l1.hit_latency, wait);
+  // Train after the demand allocation so the miss's own block is resident
+  // (candidates aliasing it get filtered, not re-issued).
+  if (demand && prefetcher_)
+    train_prefetcher(addr, type, now, static_idx, /*l1_hit=*/false);
   return out;
 }
 

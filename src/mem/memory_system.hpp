@@ -6,13 +6,19 @@
 // instruction miss profile can be recorded for the HiDISC compiler's CMAS
 // selection (paper §4.2: "the CMAS is defined with the help of the cache
 // access profile").
+//
+// An optional hardware prefetcher (mem/prefetcher.hpp) observes the L1D
+// demand stream and issues AccessType::Prefetch fills through the same
+// timed path as demand misses, so event-skip scheduling stays sound.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "mem/cache.hpp"
+#include "mem/prefetcher.hpp"
 
 namespace hidisc::mem {
 
@@ -26,6 +32,10 @@ struct MemConfig {
   // paper models latency only).  When enabled, CMP prefetch traffic
   // competes with demand misses for the same bus.
   int l2_bus_cycles = 0;
+  // Hardware prefetcher for the L1D demand stream (kind None = off).
+  // Prefetch fills claim the L1<->L2 bus like any miss, so under
+  // contention modelling they compete with demand traffic too.
+  PrefetchConfig prefetch{};
 
   // The latency sweep of Figure 10 varies (L2, DRAM) through
   // {4/40, 8/80, 12/120, 16/160}.
@@ -64,6 +74,11 @@ class MemorySystem {
   [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
   [[nodiscard]] const MemConfig& config() const noexcept { return cfg_; }
 
+  // Accurate/late/useless accounting for the hardware prefetcher: issue-
+  // side counters merged with the L1's outcome tracking for the reserved
+  // kHwPrefetchGroup.  All-zero when no prefetcher is configured.
+  [[nodiscard]] HwPrefetchStats hw_prefetch_stats() const;
+
   // Profile, indexed by static instruction: {accesses, L1 demand misses}.
   // Flat (grown on demand to the largest static_idx seen) so the hot
   // demand-access path is one indexed add, not a hash probe.
@@ -94,17 +109,34 @@ class MemorySystem {
   // when none).  Prunes fills that have already landed.
   [[nodiscard]] std::uint64_t next_fill_complete(std::uint64_t now);
 
+  // Brute-force recomputation of the fill frontier: every valid line in
+  // any level whose `ready` is still in the future must be covered by an
+  // entry in the event heap, or the event-skip scheduler could jump past
+  // its completion (a prefetch fill landing "for free").  Stale heap
+  // entries are fine — they are conservative.  No-op unless event
+  // tracking is on.  Throws std::logic_error on violation.
+  void debug_check_invariants(std::uint64_t now) const;
+
  private:
   // Claims the L1<->L2 bus at `now`; returns the transaction start cycle
   // (== now when contention modelling is off).
   [[nodiscard]] std::uint64_t claim_bus(std::uint64_t now);
+
+  // Feeds one demand access to the hardware prefetcher and issues the
+  // candidates it emits (minus those already resident in L1).
+  void train_prefetcher(std::uint64_t addr, AccessType type,
+                        std::uint64_t now, std::int32_t static_idx,
+                        bool l1_hit);
 
   MemConfig cfg_;
   Cache l1_;
   Cache l1i_;
   Cache l2_;
   void note_fill(std::uint64_t ready, std::uint64_t now) {
-    if (track_fills_ && ready > now) fills_.push(ready);
+    if (track_fills_ && ready > now) {
+      fills_.push_back(ready);
+      std::push_heap(fills_.begin(), fills_.end(), std::greater<>{});
+    }
   }
 
   std::uint64_t bus_free_ = 0;
@@ -118,9 +150,13 @@ class MemorySystem {
 
   std::vector<ProfileEntry> profile_;
   bool track_fills_ = false;
-  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
-                      std::greater<>>
-      fills_;  // completion cycles of in-flight fills (min-heap)
+  // Completion cycles of in-flight fills, kept as an explicit min-heap
+  // (push_heap/pop_heap) so debug_check_invariants can scan it.
+  std::vector<std::uint64_t> fills_;
+
+  std::unique_ptr<Prefetcher> prefetcher_;
+  HwPrefetchStats pf_;  // issue-side counters (trains/issued/filtered)
+  std::vector<std::uint64_t> pf_buf_;  // scratch for Prefetcher::observe
 };
 
 }  // namespace hidisc::mem

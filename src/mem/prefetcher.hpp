@@ -1,0 +1,156 @@
+// Hardware prefetcher family for the L1D (ROADMAP "Prefetcher zoo vs. the
+// CMP").
+//
+// The paper's Cache Management Processor is one point in the prefetch
+// design space: a software-visible slice processor that runs CMAS slices
+// ahead of the AP.  This module implements the conventional alternatives a
+// modern memory system would ship instead, so `hilab --plan prefetch` can
+// answer "would a hardware prefetcher beat the CMP?" across the Fig. 10
+// latency sweep:
+//
+//   nextline  sequential next-N-blocks on a trigger access
+//   stride    single global (PC-blind) stride detector over the demand
+//             access stream
+//   ipstride  per-PC stride table (the classic IP-stride prefetcher)
+//   sms       spatial-memory-streaming: per-(PC, region-offset) footprint
+//             patterns replayed on the first touch of a region (server
+//             prefetching survey, arxiv 2009.00715)
+//   runahead  temporal miss-stream variant in the spirit of Hashemi's
+//             runahead work (arxiv 1609.00306): a miss-correlation table
+//             chains from the current miss through recorded successor
+//             misses, prefetching the stream a stalled core would have
+//             uncovered by running ahead
+//
+// Every scheme is a deterministic pure function of the demand access
+// stream (fixed-size direct-mapped tables, no randomness, no wall-clock),
+// which is what keeps Results bit-identical across schedulers and thread
+// counts: the demand stream itself is identical, so the prefetch stream
+// is too.  Fills issue through MemorySystem::access(AccessType::Prefetch)
+// at the observing access's cycle, so they ride the existing timed fill
+// path and the event-skip scheduler's `next_fill_complete` sees them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hidisc::mem {
+
+enum class PrefetchKind : std::uint8_t {
+  None,
+  NextLine,
+  Stride,
+  IpStride,
+  Sms,
+  Runahead,
+};
+
+// Canonical CLI / spec spelling ("none", "nextline", "stride", "ipstride",
+// "sms", "runahead") and its inverse.
+[[nodiscard]] const char* prefetch_kind_name(PrefetchKind k) noexcept;
+[[nodiscard]] std::optional<PrefetchKind> parse_prefetch_kind(
+    std::string_view name) noexcept;
+
+// Knobs shared across the family; schemes ignore what does not apply.
+struct PrefetchConfig {
+  PrefetchKind kind = PrefetchKind::None;
+  // Prefetch candidates emitted per triggering access (nextline: blocks
+  // ahead; stride/ipstride: stride multiples; sms: pattern blocks;
+  // runahead: successor misses across the whole chain walk).
+  int degree = 2;
+  // Lookahead: nextline/stride/ipstride start `distance` blocks/strides
+  // ahead of the trigger; runahead walks the correlation chain this deep.
+  int distance = 1;
+  // Train/trigger on every demand access (true) or on L1 demand misses
+  // only (false).  The runahead scheme is miss-driven by construction and
+  // ignores this.
+  bool train_on_hit = true;
+  // Tracker-table entries (ipstride PC table, sms pattern-history table,
+  // runahead correlation table).  Power of two.
+  int table_entries = 256;
+  // Spatial region size for sms, in L1 blocks.  Power of two, <= 64 (the
+  // footprint is a 64-bit map).
+  int sms_region_blocks = 16;
+  // Stride confirmations required before a stride scheme issues.
+  int min_confidence = 2;
+};
+
+// Round-trips a config through the `hilab --override` spec grammar:
+//
+//   KIND[:degN][:distN][:tblN][:regionN][:confN][:miss|:all]
+//
+// e.g. "ipstride:deg4", "sms:region32:tbl512", "nextline:deg1:miss",
+// "none".  parse_prefetch_spec throws std::invalid_argument on an unknown
+// kind or token (the message names the valid ones).
+[[nodiscard]] std::string prefetch_spec(const PrefetchConfig& cfg);
+[[nodiscard]] PrefetchConfig parse_prefetch_spec(std::string_view spec);
+
+// One observed demand access, as the prefetchers see it.
+struct PrefetchAccess {
+  std::uint64_t addr = 0;    // byte address
+  std::uint64_t block = 0;   // addr / L1 block size
+  std::int32_t pc = -1;      // static instruction index (-1: unattributed)
+  std::uint64_t now = 0;     // cycle of the access
+  bool l1_hit = false;
+  bool write = false;
+};
+
+// Accurate/late/useless accounting for the hardware prefetcher, assembled
+// by MemorySystem::hw_prefetch_stats() from its own issue counters plus
+// the L1's per-group outcome tracking (the hw prefetcher owns the
+// reserved kHwPrefetchGroup CMAS-group id).  All counters, so Results
+// stay bit-comparable.
+struct HwPrefetchStats {
+  std::uint64_t trains = 0;    // demand accesses observed
+  std::uint64_t issued = 0;    // prefetches sent into the hierarchy
+  std::uint64_t filtered = 0;  // candidates dropped: line already in L1
+  std::uint64_t installed = 0;  // L1 lines allocated by the prefetcher
+  std::uint64_t used = 0;       // installed lines later demand-touched
+  std::uint64_t late = 0;       // ... touched while the fill was in flight
+  std::uint64_t evicted_unused = 0;  // evicted before any demand touch
+
+  // Demand touches that arrived after the fill landed — the hits that
+  // actually removed misses (paper Figure 9 semantics).
+  [[nodiscard]] std::uint64_t timely() const noexcept { return used - late; }
+  [[nodiscard]] double accuracy() const noexcept {
+    return installed == 0 ? 0.0
+                          : static_cast<double>(used) /
+                                static_cast<double>(installed);
+  }
+  [[nodiscard]] double lateness() const noexcept {
+    return used == 0 ? 0.0
+                     : static_cast<double>(late) / static_cast<double>(used);
+  }
+
+  friend bool operator==(const HwPrefetchStats&,
+                         const HwPrefetchStats&) = default;
+};
+
+// The CMAS-group id reserved for hardware-prefetcher fills in the L1's
+// per-group outcome stats.  Compiler-assigned CMAS groups count up from 0
+// and are bounded by the slice count of one kernel; the top of the int16
+// range can never collide with them.
+inline constexpr std::int16_t kHwPrefetchGroup = 0x7fff;
+
+// A prefetch scheme: observes the demand stream, appends candidate byte
+// addresses (block-aligned) to `out`.  The caller (MemorySystem) filters
+// lines already resident and issues the rest as AccessType::Prefetch.
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+  virtual void observe(const PrefetchAccess& ev,
+                       std::vector<std::uint64_t>& out) = 0;
+  virtual void reset() = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+// Builds the scheme `cfg.kind` names (nullptr for None).  Throws
+// std::invalid_argument on bad knobs (non-power-of-two tables/regions,
+// non-positive degree/distance, sms region > 64 blocks).
+[[nodiscard]] std::unique_ptr<Prefetcher> make_prefetcher(
+    const PrefetchConfig& cfg, int block_bytes);
+
+}  // namespace hidisc::mem

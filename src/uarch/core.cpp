@@ -1026,6 +1026,10 @@ void OoOCore::debug_check_invariants(std::uint64_t now) const {
   if (!std::is_heap(prefetch_fills_.begin(), prefetch_fills_.end(),
                     std::greater<>{}))
     fail("prefetch fills not a min-heap");
+
+  // The shared memory system's fill frontier (covers hardware-prefetcher
+  // fills too); no-op when event tracking is off.
+  if (memsys_ != nullptr) memsys_->debug_check_invariants(now);
 }
 
 }  // namespace hidisc::uarch

@@ -289,6 +289,38 @@ TEST(LabFingerprint, KeyChangesWithConfigPresetAndProgram) {
                                   machine::Preset::Superscalar, base_cfg));
 }
 
+TEST(LabFingerprint, PrefetcherConfigKeysOnlyWhenEnabled) {
+  const auto w = lab::spec("Pointer", workloads::Scale::Test).build();
+  const auto comp = compiler::compile(w.program);
+  const machine::MachineConfig base;
+  const auto key =
+      lab::content_key(comp.original, machine::Preset::Superscalar, base);
+
+  // Enabling a prefetcher re-keys; every live knob perturbs further.
+  machine::MachineConfig pf = base;
+  pf.mem.prefetch = mem::parse_prefetch_spec("ipstride");
+  const auto pf_key =
+      lab::content_key(comp.original, machine::Preset::Superscalar, pf);
+  EXPECT_NE(key, pf_key);
+  machine::MachineConfig deg = pf;
+  deg.mem.prefetch.degree = 4;
+  EXPECT_NE(pf_key, lab::content_key(comp.original,
+                                     machine::Preset::Superscalar, deg));
+  machine::MachineConfig kind = pf;
+  kind.mem.prefetch.kind = mem::PrefetchKind::Sms;
+  EXPECT_NE(pf_key, lab::content_key(comp.original,
+                                     machine::Preset::Superscalar, kind));
+
+  // A knob of a *disabled* prefetcher cannot change the simulation, so it
+  // must not change the key either (and pre-prefetcher cache entries stay
+  // reachable: the disabled config keys exactly as before).
+  machine::MachineConfig inert = base;
+  inert.mem.prefetch.degree = 7;
+  inert.mem.prefetch.table_entries = 64;
+  EXPECT_EQ(key, lab::content_key(comp.original,
+                                  machine::Preset::Superscalar, inert));
+}
+
 TEST(LabRunner, ParallelMatchesSerialCellForCell) {
   const auto plan = tiny_plan();
   lab::RunOptions serial;

@@ -130,6 +130,40 @@ TEST(PipelineKeys, MachinePresetAndConfigPerturbOnlySimKeys) {
   EXPECT_EQ(tk, pipeline::trace_key(img, steps));
 }
 
+TEST(PipelineKeys, PrefetcherConfigPerturbsOnlySimKeys) {
+  const auto comp = compile_spec("Pointer");
+  const auto img = isa::save_program(comp.original);
+  const std::uint64_t steps = compiler::CompileOptions{}.max_steps;
+  const std::string tk = pipeline::trace_key(img, steps);
+  const machine::MachineConfig base;
+  const std::string sk =
+      pipeline::sim_key(img, machine::Preset::Superscalar, base);
+
+  // Enabling a prefetcher, or turning any of its live knobs, re-keys the
+  // sim node and nothing upstream (hilab --override '*:prefetch=...'
+  // rides this: zero trace rebuilds).
+  machine::MachineConfig pf = base;
+  pf.mem.prefetch = mem::parse_prefetch_spec("ipstride:deg4");
+  const std::string pf_sk =
+      pipeline::sim_key(img, machine::Preset::Superscalar, pf);
+  EXPECT_NE(sk, pf_sk);
+  machine::MachineConfig dist = pf;
+  dist.mem.prefetch.distance = 2;
+  EXPECT_NE(pf_sk, pipeline::sim_key(img, machine::Preset::Superscalar, dist));
+  EXPECT_EQ(tk, pipeline::trace_key(img, steps));
+  const compiler::CompileOptions opt;
+  EXPECT_EQ(pipeline::compile_key(lab::spec("Pointer", workloads::Scale::Test),
+                                  opt),
+            pipeline::compile_key(lab::spec("Pointer", workloads::Scale::Test),
+                                  opt));
+
+  // Knobs of a disabled prefetcher are inert: same sim key, same cache
+  // entries.
+  machine::MachineConfig idle = base;
+  idle.mem.prefetch.degree = 9;
+  EXPECT_EQ(sk, pipeline::sim_key(img, machine::Preset::Superscalar, idle));
+}
+
 TEST(PipelineKeys, SchedulerKindIsExcludedEverywhere) {
   // Event-skip and lockstep are bit-identical (the HIDISC_LOCKSTEP
   // oracle), so the scheduler must not perturb any node key.
@@ -315,6 +349,42 @@ TEST(PipelineRunner, PresetOnlyChangeKeepsEveryTraceWarm) {
     EXPECT_EQ(partial.cells[i].from_cache,
               plan.cells[i].preset != machine::Preset::HiDISC)
         << i;
+}
+
+TEST(PipelineRunner, PrefetcherChangeResimulatesExactlyAffectedCells) {
+  TempDir dir("prefetch_invalidate");
+  auto plan = two_workload_plan();
+  lab::RunOptions opt;
+  opt.threads = 2;
+  opt.cache_dir = dir.path();
+  const auto cold = lab::run_plan(plan, opt);
+  ASSERT_EQ(cold.failed, 0u);
+
+  // Enable a hardware prefetcher on the CP+AP cells only (what
+  // `hilab --override 'CP+AP:prefetch=ipstride:deg4'` does): exactly
+  // those sim nodes re-key and rerun, every other cell hits, and no
+  // trace is ever re-traced.
+  std::size_t mutated = 0;
+  for (auto& cell : plan.cells)
+    if (cell.preset == machine::Preset::CPAP) {
+      cell.config.mem.prefetch = mem::parse_prefetch_spec("ipstride:deg4");
+      ++mutated;
+    }
+  ASSERT_GT(mutated, 0u);
+
+  const auto partial = lab::run_plan(plan, opt);
+  EXPECT_EQ(partial.failed, 0u);
+  EXPECT_EQ(partial.nodes.sim.rebuilt, mutated);
+  EXPECT_EQ(partial.nodes.sim.hits, plan.cells.size() - mutated);
+  EXPECT_EQ(partial.nodes.trace.rebuilt, 0u);
+  for (std::size_t i = 0; i < plan.cells.size(); ++i)
+    EXPECT_EQ(partial.cells[i].from_cache,
+              plan.cells[i].preset != machine::Preset::CPAP)
+        << i;
+  // And a warm re-run of the mutated plan is all hits.
+  const auto warm = lab::run_plan(plan, opt);
+  EXPECT_EQ(warm.nodes.sim.hits, plan.cells.size());
+  EXPECT_EQ(warm.nodes.sim.rebuilt, 0u);
 }
 
 TEST(PipelineRunner, RefreshBypassesBothStoresButStillWritesThem) {

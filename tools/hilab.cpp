@@ -61,9 +61,11 @@ int usage(const char* argv0) {
       "  --refresh         ignore existing cache entries, overwrite them\n"
       "  --watchdog N      override every cell's watchdog threshold\n"
       "  --lockstep        force the Lockstep scheduler on every cell\n"
-      "  --override P:F=V  set machine-config field F to integer V on every\n"
-      "                    cell whose preset is P ('*' = all presets);\n"
-      "                    fields: dram, l2, fetch_width, watchdog.\n"
+      "  --override P:F=V  set machine-config field F to V on every cell\n"
+      "                    whose preset is P ('*' = all presets); fields:\n"
+      "                    dram, l2, fetch_width, watchdog (integer V) and\n"
+      "                    prefetch (a spec such as ipstride:deg4 — see\n"
+      "                    docs/PREFETCH.md).\n"
       "                    Participates in content keys, so overridden runs\n"
       "                    never alias normal cache entries (their traces\n"
       "                    still do — config never reaches trace nodes).\n"
@@ -116,12 +118,35 @@ void apply_override(lab::ExperimentPlan& plan, const std::string& spec) {
   const std::string preset = spec.substr(0, colon);
   const std::string field = spec.substr(colon + 1, eq - colon - 1);
   const std::string value_str = spec.substr(eq + 1);
+  // The field name is validated before anything else — previously an
+  // unknown field slipped through whenever no cell matched the preset,
+  // and the value was parsed (and could be rejected) before the field
+  // was even looked at.
+  constexpr const char* kFieldList =
+      "dram, l2, fetch_width, watchdog, prefetch";
+  const bool known = field == "dram" || field == "l2" ||
+                     field == "fetch_width" || field == "watchdog" ||
+                     field == "prefetch";
+  if (!known)
+    throw std::runtime_error("--override: unknown field '" + field +
+                             "' (fields: " + kFieldList + ")");
+  mem::PrefetchConfig pf;
   std::uint64_t value = 0;
-  try {
-    value = std::stoull(value_str);
-  } catch (const std::exception&) {
-    throw std::runtime_error("--override value must be an integer, got '" +
-                             value_str + "'");
+  if (field == "prefetch") {
+    // e.g. '*:prefetch=ipstride:deg4' — the value is a prefetch spec, not
+    // an integer.
+    try {
+      pf = mem::parse_prefetch_spec(value_str);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("--override: ") + e.what());
+    }
+  } else {
+    try {
+      value = std::stoull(value_str);
+    } catch (const std::exception&) {
+      throw std::runtime_error("--override value must be an integer, got '" +
+                               value_str + "'");
+    }
   }
   bool matched = false;
   for (auto& cell : plan.cells) {
@@ -134,9 +159,7 @@ void apply_override(lab::ExperimentPlan& plan, const std::string& spec) {
     else if (field == "fetch_width")
       cell.config.fetch_width = static_cast<int>(value);
     else if (field == "watchdog") cell.config.watchdog_cycles = value;
-    else
-      throw std::runtime_error("--override: unknown field '" + field +
-                               "' (fields: dram, l2, fetch_width, watchdog)");
+    else if (field == "prefetch") cell.config.mem.prefetch = pf;
   }
   if (!matched)
     throw std::runtime_error("--override: no cell has preset '" + preset +
