@@ -1,0 +1,26 @@
+#include "diag/quarantine.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+
+namespace hidisc::diag {
+
+std::string quarantine_path_for(const std::string& path) {
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream dest;
+  dest << path << ".corrupt." << ::getpid() << '.'
+       << counter.fetch_add(1, std::memory_order_relaxed);
+  return dest.str();
+}
+
+std::string quarantine_file(const std::string& path) {
+  const std::string dest = quarantine_path_for(path);
+  std::error_code ec;
+  std::filesystem::rename(path, dest, ec);
+  return ec ? std::string() : dest;
+}
+
+}  // namespace hidisc::diag

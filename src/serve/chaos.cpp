@@ -1,0 +1,280 @@
+#include "serve/chaos.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hidisc::serve {
+
+namespace {
+
+// The splitmix64 step (same generator the fuzz subsystem's seed
+// derivation uses): every draw below is a pure function of (seed,
+// connection ordinal), which is what makes campaigns replayable.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+[[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
+  throw std::runtime_error("chaos-net: bad spec '" + text + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& s,
+                        const std::string& what) {
+  if (s.empty()) bad_spec(text, what + " needs a number");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) bad_spec(text, what + " '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+ChaosSpec parse_chaos_spec(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos)
+    bad_spec(text, "want SEED:TERM[,TERM...]");
+  ChaosSpec spec;
+  spec.seed = parse_u64(text, text.substr(0, colon), "seed");
+
+  std::size_t pos = colon + 1;
+  bool any = false;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string term = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (term.empty()) continue;
+    any = true;
+
+    // Peel the optional suffixes: xM (multiplicity), =MS (stall), @N
+    // (position) — in that order, right to left.
+    std::uint32_t mult = 1;
+    if (const auto x = term.rfind('x'); x != std::string::npos && x > 0) {
+      mult = static_cast<std::uint32_t>(
+          parse_u64(text, term.substr(x + 1), "multiplicity"));
+      if (mult == 0) bad_spec(text, "x0 multiplicity");
+      term = term.substr(0, x);
+    }
+    int ms = -1;
+    if (const auto eq = term.find('='); eq != std::string::npos) {
+      ms = static_cast<int>(parse_u64(text, term.substr(eq + 1), "value"));
+      term = term.substr(0, eq);
+    }
+    std::uint64_t at = 0;
+    if (const auto a = term.find('@'); a != std::string::npos) {
+      at = parse_u64(text, term.substr(a + 1), "position");
+      if (at == 0) bad_spec(text, "@0 position (positions are 1-based)");
+      term = term.substr(0, a);
+    }
+
+    if (term == "drop") {
+      spec.drop = true;
+      spec.drop_at = at;
+      spec.drop_budget = mult;
+    } else if (term == "corrupt") {
+      spec.corrupt = true;
+      spec.corrupt_at = at;
+      spec.corrupt_budget = mult;
+    } else if (term == "split") {
+      spec.split = true;
+    } else if (term == "stall") {
+      spec.stall = true;
+      spec.stall_at = at;
+      if (ms >= 0) spec.stall_ms = ms;
+    } else if (term == "window") {
+      if (ms <= 0) bad_spec(text, "window needs =K");
+      spec.window = static_cast<std::uint64_t>(ms);
+    } else {
+      bad_spec(text, "unknown term '" + term +
+                         "' (drop, corrupt, split, stall, window)");
+    }
+  }
+  if (!any) bad_spec(text, "no fault terms");
+  return spec;
+}
+
+std::optional<ChaosSpec> chaos_spec_from(const std::string& cli) {
+  if (!cli.empty()) return parse_chaos_spec(cli);
+  const char* env = std::getenv("HIDISC_CHAOS_NET");
+  if (env && *env) return parse_chaos_spec(env);
+  return std::nullopt;
+}
+
+// FaultPlan ------------------------------------------------------------------
+
+void FaultPlan::arm(const ChaosSpec& spec) {
+  spec_ = spec;
+  enabled_ = true;
+  drop_left_ = spec.drop ? static_cast<std::int64_t>(spec.drop_budget) : 0;
+  corrupt_left_ =
+      spec.corrupt ? static_cast<std::int64_t>(spec.corrupt_budget) : 0;
+}
+
+FaultSchedule FaultPlan::next_schedule() {
+  FaultSchedule s;
+  if (!enabled_) return s;
+  const std::uint64_t ordinal = conns_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t x = spec_.seed ^ (0xC0FFEEull + ordinal * 0x9E3779B97F4A7C15ull);
+  const std::uint64_t window = spec_.window ? spec_.window : 8;
+  const auto derive = [&](std::uint64_t pinned) {
+    const std::uint64_t draw = 1 + splitmix64(x) % window;
+    return pinned ? pinned : draw;
+  };
+  if (spec_.drop && drop_left_.load(std::memory_order_relaxed) > 0)
+    s.drop_at = derive(spec_.drop_at);
+  if (spec_.corrupt && corrupt_left_.load(std::memory_order_relaxed) > 0) {
+    s.corrupt_at = derive(spec_.corrupt_at);
+    s.corrupt_pos = splitmix64(x);
+    s.corrupt_xor = static_cast<std::uint8_t>(1 + splitmix64(x) % 255);
+  }
+  if (spec_.split) {
+    s.split = true;
+    s.split_seed = splitmix64(x);
+  }
+  if (spec_.stall) {
+    s.stall_at = derive(spec_.stall_at);
+    s.stall_ms = spec_.stall_ms;
+  }
+  s.plan = this;
+  return s;
+}
+
+bool FaultPlan::take_drop() {
+  if (drop_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) return false;
+  drops_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::take_corrupt() {
+  if (corrupt_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) return false;
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// FaultConn ------------------------------------------------------------------
+
+bool FaultConn::crossed_drop() {
+  if (sched_.drop_at == 0) return false;
+  if (frames_in_ + frames_out_ < sched_.drop_at) return false;
+  if (sched_.plan && !sched_.plan->take_drop()) {
+    sched_.drop_at = 0;  // budget exhausted elsewhere: disarm
+    return false;
+  }
+  sched_.drop_at = 0;  // fires once per connection
+  inner_.close();
+  return true;
+}
+
+bool FaultConn::apply_send_faults(std::string& wire) {
+  ++frames_out_;
+  if (crossed_drop()) return false;
+  if (sched_.corrupt_at != 0 && frames_out_ == sched_.corrupt_at &&
+      !wire.empty() && (!sched_.plan || sched_.plan->take_corrupt())) {
+    wire[sched_.corrupt_pos % wire.size()] ^=
+        static_cast<char>(sched_.corrupt_xor);
+    sched_.corrupt_at = 0;
+  }
+  if (sched_.stall_at != 0 && frames_out_ == sched_.stall_at) {
+    sched_.stall_at = 0;
+    if (sched_.plan) sched_.plan->count_stall();
+    ::usleep(static_cast<useconds_t>(sched_.stall_ms) * 1000);
+  }
+  return true;
+}
+
+void FaultConn::send_frame(const Frame& f) {
+  std::string wire = encode_frame(f);
+  if (!apply_send_faults(wire))
+    throw TransportError("hiserve chaos: injected connection drop (send)");
+  if (!sched_.split || wire.size() < 2) {
+    inner_.send_raw(wire.data(), wire.size());
+    return;
+  }
+  // 2-4 chunks at schedule-derived boundaries, with a scheduling gap
+  // between them so the receiver genuinely observes partial frames.
+  std::uint64_t x = sched_.split_seed + frames_out_;
+  const std::size_t chunks = 2 + splitmix64(x) % 3;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i + 1 < chunks && off + 1 < wire.size(); ++i) {
+    const std::size_t remain = wire.size() - off;
+    const std::size_t take = 1 + splitmix64(x) % (remain - 1);
+    inner_.send_raw(wire.data() + off, take);
+    off += take;
+    ::usleep(200);
+  }
+  inner_.send_raw(wire.data() + off, wire.size() - off);
+}
+
+std::optional<Frame> FaultConn::recv_frame() {
+  auto f = inner_.recv_frame();
+  if (f) {
+    ++frames_in_;
+    if (crossed_drop())
+      throw TransportError("hiserve chaos: injected connection drop (recv)");
+  }
+  return f;
+}
+
+std::optional<Frame> FaultConn::recv_frame_for(int timeout_ms,
+                                               bool* timed_out) {
+  auto f = inner_.recv_frame_for(timeout_ms, timed_out);
+  if (f) {
+    ++frames_in_;
+    if (crossed_drop())
+      throw TransportError("hiserve chaos: injected connection drop (recv)");
+  }
+  return f;
+}
+
+std::optional<Frame> FaultConn::next_frame() {
+  auto f = inner_.next_frame();
+  if (f) {
+    ++frames_in_;
+    if (crossed_drop())
+      throw TransportError("hiserve chaos: injected connection drop (recv)");
+  }
+  return f;
+}
+
+void FaultConn::queue_frame(const Frame& f) {
+  std::string wire = encode_frame(f);
+  if (!apply_send_faults(wire)) return;  // injected drop: fd now closed
+  outq_ += wire;
+}
+
+bool FaultConn::flush_queue() {
+  while (!outq_.empty()) {
+    if (!inner_.valid()) return false;
+    const long n = inner_.try_send(outq_.data(), outq_.size());
+    if (n < 0) return false;
+    if (n == 0) return true;  // would block; poll will call us back
+    outq_.erase(0, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void FaultConn::flush_blocking(int timeout_ms) {
+  const int step = 20;
+  for (int waited = 0; !outq_.empty() && waited <= timeout_ms; waited += step) {
+    if (!flush_queue() || outq_.empty()) return;
+    pollfd p{inner_.fd(), POLLOUT, 0};
+    (void)::poll(&p, 1, step);
+  }
+}
+
+// FaultListener --------------------------------------------------------------
+
+FaultConn FaultListener::accept() {
+  Conn c = inner_.accept();
+  if (plan_ && plan_->enabled())
+    return FaultConn(std::move(c), plan_->next_schedule());
+  return FaultConn(std::move(c));
+}
+
+}  // namespace hidisc::serve

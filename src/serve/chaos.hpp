@@ -1,0 +1,199 @@
+// Deterministic network fault injection for the hiserve transport.
+//
+// A ChaosSpec ("SEED:SPEC", e.g. "7:drop@4x2,corrupt,split,stall=3")
+// arms a FaultPlan; every connection wrapped in a FaultConn draws a
+// FaultSchedule from it, with fault positions derived via splitmix64
+// from (seed, connection ordinal) — campaigns replay bit-exactly from
+// the seed alone.  Fault kinds:
+//
+//   drop[@N][xM]     close the connection when the Nth frame (counting
+//                    both directions) crosses it; fires M times
+//                    process-wide (default 1)
+//   corrupt[@N][xM]  flip one byte of the Nth outbound frame's wire
+//                    image (byte position and flip value seed-derived)
+//   split            carve every outbound blocking send into 2-4 chunks
+//                    with a scheduling gap, forcing receiver-side
+//                    partial reads
+//   stall[@N][=MS]   sleep MS ms before sending the Nth outbound frame
+//                    (default 2 ms)
+//   window=K         derived (unpinned) positions fall in [1, K]
+//                    (default 8)
+//
+// Budgets are plan-global (atomics): once a fault kind is exhausted,
+// later connections get it pass-through, so an adversarial run is
+// guaranteed to converge to a clean completion.  A default-constructed
+// FaultConn/FaultListener is an exact pass-through — the daemon and
+// client use them unconditionally and pay one branch per frame when no
+// chaos is armed.
+//
+// FaultConn also owns the bounded outbound write queue the daemon uses
+// (queue_frame / flush_queue / queued_bytes), so slow-peer handling and
+// fault injection live behind one connection surface.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/transport.hpp"
+
+namespace hidisc::serve {
+
+struct ChaosSpec {
+  std::uint64_t seed = 0;
+  bool drop = false;
+  std::uint64_t drop_at = 0;  // 0 = derive per connection
+  std::uint32_t drop_budget = 1;
+  bool corrupt = false;
+  std::uint64_t corrupt_at = 0;
+  std::uint32_t corrupt_budget = 1;
+  bool split = false;
+  bool stall = false;
+  std::uint64_t stall_at = 0;
+  int stall_ms = 2;
+  std::uint64_t window = 8;
+};
+
+// Parses "SEED:SPEC"; throws std::runtime_error on a malformed spec.
+[[nodiscard]] ChaosSpec parse_chaos_spec(const std::string& text);
+
+// CLI value, falling back to the HIDISC_CHAOS_NET environment variable
+// when `cli` is empty; nullopt = chaos off.
+[[nodiscard]] std::optional<ChaosSpec> chaos_spec_from(const std::string& cli);
+
+class FaultPlan;
+
+// The per-connection schedule: concrete frame ordinals at which each
+// armed fault fires.  All-zero (the default) is a pass-through.
+struct FaultSchedule {
+  std::uint64_t drop_at = 0;     // total frames (in+out), 1-based; 0 = off
+  std::uint64_t corrupt_at = 0;  // outbound frame ordinal; 0 = off
+  std::uint64_t corrupt_pos = 0; // draw for the byte position
+  std::uint8_t corrupt_xor = 1;  // never zero, so the byte always changes
+  bool split = false;
+  std::uint64_t split_seed = 0;
+  std::uint64_t stall_at = 0;    // outbound frame ordinal; 0 = off
+  int stall_ms = 0;
+  FaultPlan* plan = nullptr;     // budget + telemetry accounting
+};
+
+// Process-wide fault budgets and telemetry for one chaos campaign.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const ChaosSpec& spec) { arm(spec); }
+
+  // Arms (or re-arms) the plan; the atomics make FaultPlan itself
+  // non-movable, so long-lived owners default-construct and arm later.
+  void arm(const ChaosSpec& spec);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // Derives the next connection's schedule (and bumps the ordinal).
+  [[nodiscard]] FaultSchedule next_schedule();
+
+  // Budget withdrawal: true when the fault may fire (budget remained).
+  [[nodiscard]] bool take_drop();
+  [[nodiscard]] bool take_corrupt();
+  void count_stall() { stalls_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t conns() const { return conns_.load(); }
+  [[nodiscard]] std::uint64_t drops_injected() const { return drops_.load(); }
+  [[nodiscard]] std::uint64_t corruptions_injected() const {
+    return corruptions_.load();
+  }
+  [[nodiscard]] std::uint64_t stalls_injected() const { return stalls_.load(); }
+
+ private:
+  ChaosSpec spec_;
+  bool enabled_ = false;
+  std::atomic<std::int64_t> drop_left_{0};
+  std::atomic<std::int64_t> corrupt_left_{0};
+  std::atomic<std::uint64_t> conns_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+// A Conn with a fault schedule in front of it.  Same surface as Conn
+// plus the outbound write queue; every frame crossing it (either
+// direction) advances the schedule.
+class FaultConn {
+ public:
+  FaultConn() = default;
+  explicit FaultConn(Conn c) : inner_(std::move(c)) {}
+  FaultConn(Conn c, FaultSchedule s) : inner_(std::move(c)), sched_(s) {}
+  FaultConn(FaultConn&&) noexcept = default;
+  FaultConn& operator=(FaultConn&&) noexcept = default;
+
+  [[nodiscard]] bool valid() const noexcept { return inner_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return inner_.fd(); }
+  void close() { inner_.close(); }
+  void set_nonblocking(bool nb) { inner_.set_nonblocking(nb); }
+
+  // Blocking whole-frame send with faults applied; an injected drop
+  // closes the fd and throws TransportError (like a real peer loss).
+  void send_frame(const Frame& f);
+
+  // Blocking receive; an injected drop after the received frame closes
+  // the fd and throws TransportError.
+  [[nodiscard]] std::optional<Frame> recv_frame();
+  // Timeout-aware receive: nullopt with *timed_out=true when nothing
+  // complete arrived within timeout_ms; otherwise recv_frame semantics.
+  [[nodiscard]] std::optional<Frame> recv_frame_for(int timeout_ms,
+                                                    bool* timed_out);
+
+  // Poll-loop surface (daemon side): non-blocking reads into the
+  // decoder, frame extraction (schedule-counted), and the bounded
+  // outbound byte queue.
+  [[nodiscard]] bool read_into_decoder() { return inner_.read_into_decoder(); }
+  [[nodiscard]] std::optional<Frame> next_frame();
+
+  // Appends the encoded frame (faults applied) to the outbound queue.
+  // An injected drop closes the fd instead; callers observe !valid().
+  void queue_frame(const Frame& f);
+  // One non-blocking drain attempt; false when the peer is gone.
+  [[nodiscard]] bool flush_queue();
+  [[nodiscard]] std::size_t queued_bytes() const noexcept {
+    return outq_.size();
+  }
+  // Best-effort blocking drain with a deadline (daemon exit path).
+  void flush_blocking(int timeout_ms);
+
+ private:
+  // Applies outbound-schedule faults to `wire`; returns false when an
+  // injected drop fires (fd closed by the caller contract).
+  [[nodiscard]] bool apply_send_faults(std::string& wire);
+  [[nodiscard]] bool crossed_drop();
+
+  Conn inner_;
+  FaultSchedule sched_;
+  std::string outq_;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t frames_in_ = 0;
+};
+
+// Listener wrapper: accepted connections come back as FaultConns armed
+// from the plan (pass-through when `plan` is null or disabled).
+class FaultListener {
+ public:
+  FaultListener() = default;
+  FaultListener(Listener l, FaultPlan* plan)
+      : inner_(std::move(l)), plan_(plan) {}
+
+  static FaultListener listen(const std::string& endpoint, FaultPlan* plan) {
+    return FaultListener(Listener::listen(endpoint), plan);
+  }
+
+  [[nodiscard]] FaultConn accept();
+  [[nodiscard]] int fd() const noexcept { return inner_.fd(); }
+  void close() { inner_.close(); }
+  void abandon() noexcept { inner_.abandon(); }
+
+ private:
+  Listener inner_;
+  FaultPlan* plan_ = nullptr;
+};
+
+}  // namespace hidisc::serve

@@ -1,8 +1,13 @@
 #include "serve/client.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <vector>
 
+#include "serve/chaos.hpp"
 #include "serve/transport.hpp"
 
 namespace hidisc::serve {
@@ -11,28 +16,75 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Internal control-flow signal: the daemon rejected our ResumePlan
+// (unknown token) and asked for a fresh submit.
+class ResumeRejected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 [[noreturn]] void throw_daemon_error(const Frame& f) {
   const KvMap kv = kv_parse(f.payload);
   std::string msg = "hiserve daemon: " + kv_get(kv, "message", "error");
+  if (kv_get(kv, "code") == "resubmit") throw ResumeRejected(msg);
   const std::string plans = kv_get(kv, "plans");
   if (!plans.empty()) msg += "\navailable plans: " + plans;
   throw std::runtime_error(msg);
 }
 
-Frame expect_frame(Conn& conn) {
-  auto f = conn.recv_frame();
-  if (!f)
-    throw TransportError("hiserve client: daemon closed the connection");
-  if (f->type == MsgType::Error) throw_daemon_error(*f);
-  return std::move(*f);
+// Next frame of substance: Pings are answered, Pongs absorbed, Error
+// frames thrown.  Frame silence is heartbeated — after heartbeat_ms we
+// Ping, after dead_after_ms of total silence the daemon is declared
+// dead (TransportError, which the reconnect loop owns).
+Frame expect_stream(FaultConn& conn, const ClientOptions& opt) {
+  const int beat = opt.heartbeat_ms > 0 ? opt.heartbeat_ms : 2500;
+  const int dead_after = std::max(opt.dead_after_ms, beat);
+  int silent_ms = 0;
+  auto last_send = Clock::now();
+  const auto ping = [&] {
+    conn.send_frame(Frame{MsgType::Ping, ""});
+    last_send = Clock::now();
+  };
+  for (;;) {
+    // Keep the *outbound* heartbeat going even while the daemon is
+    // streaming: the daemon reaps clients on inbound silence, and a
+    // client that only receives would look dead to it.
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              last_send)
+            .count() >= beat)
+      ping();
+    bool timed_out = false;
+    auto f = conn.recv_frame_for(beat, &timed_out);
+    if (timed_out) {
+      silent_ms += beat;
+      if (silent_ms >= dead_after)
+        throw TransportError("hiserve client: daemon silent for " +
+                             std::to_string(silent_ms) + " ms");
+      ping();
+      continue;
+    }
+    if (!f)
+      throw TransportError("hiserve client: daemon closed the connection");
+    silent_ms = 0;
+    if (f->type == MsgType::Pong) continue;
+    if (f->type == MsgType::Ping) {
+      conn.send_frame(Frame{MsgType::Pong, ""});
+      continue;
+    }
+    if (f->type == MsgType::Error) throw_daemon_error(*f);
+    return std::move(*f);
+  }
 }
 
-Conn handshake(const std::string& endpoint) {
-  Conn conn = connect_to(endpoint);
+FaultConn handshake(const ClientOptions& opt, FaultPlan* chaos) {
+  Conn raw = connect_to(opt.endpoint);
+  FaultConn conn = (chaos && chaos->enabled())
+                       ? FaultConn(std::move(raw), chaos->next_schedule())
+                       : FaultConn(std::move(raw));
   conn.send_frame(Frame{MsgType::Hello,
                         kv_encode({{"proto",
                                     std::to_string(kProtocolVersion)}})});
-  const Frame ok = expect_frame(conn);
+  const Frame ok = expect_stream(conn, opt);
   if (ok.type != MsgType::HelloOk)
     throw ProtocolError("hiserve client: expected HelloOk, got " +
                         std::string(msg_type_name(ok.type)));
@@ -45,55 +97,117 @@ ConnectedRun run_plan_connected(const PlanRequest& req,
                                 const lab::ExperimentPlan& plan,
                                 const ClientOptions& opt) {
   const auto start = Clock::now();
-  Conn conn = handshake(opt.endpoint);
-  conn.send_frame(Frame{MsgType::SubmitPlan, kv_encode(req.to_kv())});
-
-  const Frame accepted = expect_frame(conn);
-  if (accepted.type != MsgType::PlanAccepted)
-    throw ProtocolError("hiserve client: expected PlanAccepted, got " +
-                        std::string(msg_type_name(accepted.type)));
-  const std::size_t cells =
-      kv_get_u64(kv_parse(accepted.payload), "cells");
-  if (cells != plan.cells.size())
-    throw std::runtime_error(
-        "hiserve client: daemon materialized " + std::to_string(cells) +
-        " cells for plan '" + req.plan + "' but this client built " +
-        std::to_string(plan.cells.size()) +
-        " — client/daemon plan registries disagree (version skew?)");
+  FaultPlan chaos;
+  if (const auto spec = chaos_spec_from(opt.chaos_net)) chaos.arm(*spec);
 
   ConnectedRun out;
   out.run.cells.resize(plan.cells.size());
+  std::vector<char> got(plan.cells.size(), 0);  // received-set: dedups
+                                                // resume redeliveries
   std::size_t done = 0;
-  for (;;) {
-    const Frame f = expect_frame(conn);
-    if (f.type == MsgType::CellDone) {
-      const KvMap kv = kv_parse(f.payload);
-      const std::size_t idx = kv_get_u64(kv, "cell");
-      if (idx >= out.run.cells.size())
-        throw ProtocolError("hiserve client: cell index " +
-                            std::to_string(idx) + " out of range");
-      out.run.cells[idx] = cell_result_from_kv(kv);
-      // The daemon marks dedup- and memo-served cells cached on the wire
-      // even when the underlying job simulated (from another client's
-      // submission); from_cache is the client-visible meaning.
-      out.run.cells[idx].from_cache = kv_get(kv, "cached") == "1";
-      if (kv_get(kv, "dedup") == "1") ++out.dedup;
-      ++done;
-      if (opt.on_cell)
-        opt.on_cell(plan.cells[idx], done, plan.cells.size(),
-                    out.run.cells[idx].from_cache);
-      continue;
+  bool ever_connected = false;
+  bool finished = false;
+  int attempts = 0;
+
+  while (!finished) {
+    try {
+      FaultConn conn = handshake(opt, &chaos);
+      ever_connected = true;
+
+      // Re-attach by token when we have one; a rejected resume falls
+      // back to a fresh submit (warm cells return from the memo/cache).
+      bool attached = false;
+      if (!out.token.empty()) {
+        conn.send_frame(Frame{MsgType::ResumePlan,
+                              kv_encode({{"token", out.token}})});
+        try {
+          const Frame f = expect_stream(conn, opt);
+          if (f.type != MsgType::ResumeOk)
+            throw ProtocolError("hiserve client: expected ResumeOk, got " +
+                                std::string(msg_type_name(f.type)));
+          attached = true;
+          ++out.resumes;
+        } catch (const ResumeRejected&) {
+          out.token.clear();
+        }
+      }
+      if (!attached) {
+        conn.send_frame(Frame{MsgType::SubmitPlan, kv_encode(req.to_kv())});
+        const Frame accepted = expect_stream(conn, opt);
+        if (accepted.type != MsgType::PlanAccepted)
+          throw ProtocolError("hiserve client: expected PlanAccepted, got " +
+                              std::string(msg_type_name(accepted.type)));
+        const KvMap akv = kv_parse(accepted.payload);
+        const std::size_t cells = kv_get_u64(akv, "cells");
+        if (cells != plan.cells.size())
+          throw std::runtime_error(
+              "hiserve client: daemon materialized " + std::to_string(cells) +
+              " cells for plan '" + req.plan + "' but this client built " +
+              std::to_string(plan.cells.size()) +
+              " — client/daemon plan registries disagree (version skew?)");
+        out.token = kv_get(akv, "token");
+      }
+
+      for (;;) {
+        const Frame f = expect_stream(conn, opt);
+        if (f.type == MsgType::CellDone) {
+          const KvMap kv = kv_parse(f.payload);
+          const std::size_t idx = kv_get_u64(kv, "cell");
+          if (idx >= out.run.cells.size())
+            throw ProtocolError("hiserve client: cell index " +
+                                std::to_string(idx) + " out of range");
+          if (got[idx]) continue;  // resume redelivery of a cell we have
+          got[idx] = 1;
+          out.run.cells[idx] = cell_result_from_kv(kv);
+          // The daemon marks dedup- and memo-served cells cached on the
+          // wire even when the underlying job simulated (from another
+          // client's submission); from_cache is the client-visible
+          // meaning.
+          out.run.cells[idx].from_cache = kv_get(kv, "cached") == "1";
+          if (kv_get(kv, "dedup") == "1") ++out.dedup;
+          ++done;
+          if (opt.on_cell)
+            opt.on_cell(plan.cells[idx], done, plan.cells.size(),
+                        out.run.cells[idx].from_cache);
+          continue;
+        }
+        if (f.type == MsgType::PlanDone) {
+          const KvMap kv = kv_parse(f.payload);
+          out.run.simulated = kv_get_u64(kv, "simulated");
+          out.run.cache_hits = kv_get_u64(kv, "cached");
+          out.run.failed = kv_get_u64(kv, "failed");
+          out.server_wall_ms = kv_get_double(kv, "wall_ms");
+          finished = true;
+          break;
+        }
+        throw ProtocolError("hiserve client: unexpected frame " +
+                            std::string(msg_type_name(f.type)));
+      }
+    } catch (const TransportError& e) {
+      if (attempts >= opt.max_reconnects) {
+        if (!ever_connected)
+          throw ConnectError("hiserve client: cannot reach daemon at " +
+                             opt.endpoint + ": " + e.what());
+        throw;
+      }
+      ++attempts;
+      ++out.reconnects;
+      const int backoff_ms =
+          std::min(50 << std::min(attempts - 1, 10), 2000);
+      ::usleep(static_cast<useconds_t>(backoff_ms) * 1000);
+    } catch (const ProtocolError&) {
+      // Framing corruption (a chaos-injected bit flip, a garbled
+      // stream): the decoder is poisoned, so the connection is useless —
+      // reconnect like a transport loss.  Semantic protocol breaches
+      // (wrong frame type, bad cell index) reconnect too; if the daemon
+      // truly misbehaves the attempt budget bounds the damage.
+      if (attempts >= opt.max_reconnects) throw;
+      ++attempts;
+      ++out.reconnects;
+      const int backoff_ms =
+          std::min(50 << std::min(attempts - 1, 10), 2000);
+      ::usleep(static_cast<useconds_t>(backoff_ms) * 1000);
     }
-    if (f.type == MsgType::PlanDone) {
-      const KvMap kv = kv_parse(f.payload);
-      out.run.simulated = kv_get_u64(kv, "simulated");
-      out.run.cache_hits = kv_get_u64(kv, "cached");
-      out.run.failed = kv_get_u64(kv, "failed");
-      out.server_wall_ms = kv_get_double(kv, "wall_ms");
-      break;
-    }
-    throw ProtocolError("hiserve client: unexpected frame " +
-                        std::string(msg_type_name(f.type)));
   }
   if (done != plan.cells.size())
     throw std::runtime_error("hiserve client: plan finished after " +
@@ -140,9 +254,11 @@ ConnectedRun run_plan_connected(const PlanRequest& req,
 }
 
 std::string fetch_service_stats(const std::string& endpoint) {
-  Conn conn = handshake(endpoint);
+  ClientOptions opt;
+  opt.endpoint = endpoint;
+  FaultConn conn = handshake(opt, nullptr);
   conn.send_frame(Frame{MsgType::GetStats, ""});
-  const Frame f = expect_frame(conn);
+  const Frame f = expect_stream(conn, opt);
   if (f.type != MsgType::Stats)
     throw ProtocolError("hiserve client: expected Stats, got " +
                         std::string(msg_type_name(f.type)));

@@ -1,0 +1,206 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "diag/quarantine.hpp"
+#include "lab/serialize.hpp"
+
+namespace fs = std::filesystem;
+
+namespace hidisc::serve {
+
+namespace {
+
+constexpr const char* kTag = "HSJL1";
+
+std::string checksum_hex(const std::string& payload) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(lab::fnv1a64(payload)));
+  return buf;
+}
+
+// "HSJL1 <16 hex> <payload>" -> payload; empty optional on any damage.
+std::optional<std::string> check_line(const std::string& line) {
+  const std::string prefix = std::string(kTag) + " ";
+  if (line.rfind(prefix, 0) != 0) return std::nullopt;
+  if (line.size() < prefix.size() + 17) return std::nullopt;
+  const std::string sum = line.substr(prefix.size(), 16);
+  if (line[prefix.size() + 16] != ' ') return std::nullopt;
+  const std::string payload = line.substr(prefix.size() + 17);
+  if (checksum_hex(payload) != sum) return std::nullopt;
+  return payload;
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  std::error_code ec;
+  const fs::path parent = fs::path(path_).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    // Another live daemon owns this journal: disable ours, never fatal.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+JobJournal::~JobJournal() {
+  if (fd_ >= 0) ::close(fd_);  // the flock dies with the fd
+}
+
+JobJournal::JobJournal(JobJournal&& o) noexcept
+    : fd_(o.fd_), path_(std::move(o.path_)) {
+  o.fd_ = -1;
+}
+
+JobJournal& JobJournal::operator=(JobJournal&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    path_ = std::move(o.path_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void JobJournal::append_line(const std::string& payload) {
+  if (fd_ < 0) return;
+  const std::string line =
+      std::string(kTag) + " " + checksum_hex(payload) + " " + payload + "\n";
+  // O_APPEND makes the write atomic w.r.t. our own earlier appends; a
+  // torn final write (SIGKILL mid-call) is exactly what replay()'s
+  // tail quarantine absorbs.
+  const ssize_t ignored = ::write(fd_, line.data(), line.size());
+  (void)ignored;
+}
+
+void JobJournal::record_plan(const std::string& token, const PlanRequest& req,
+                             std::size_t cells) {
+  append_line("plan " + token + " " + std::to_string(cells) + " " + req.plan +
+              " " + req.scale + " " + std::to_string(req.watchdog) + " " +
+              (req.lockstep ? "1" : "0") + " " + (req.refresh ? "1" : "0"));
+}
+
+void JobJournal::record_cell(const std::string& token, std::size_t cell) {
+  append_line("cell " + token + " " + std::to_string(cell));
+}
+
+void JobJournal::record_done(const std::string& token) {
+  append_line("done " + token);
+}
+
+void JobJournal::truncate_all() {
+  if (fd_ < 0) return;
+  if (::ftruncate(fd_, 0) != 0) { /* keep appending; replay dedups */ }
+}
+
+JournalReplay JobJournal::replay(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+
+  std::vector<JournalPlan> plans;
+  const auto find_plan = [&](const std::string& token) -> JournalPlan* {
+    for (auto& p : plans)
+      if (p.token == token) return &p;
+    return nullptr;
+  };
+
+  const std::string all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  in.close();
+
+  std::uint64_t good_end = 0;  // byte offset past the last good record
+  bool damaged = false;
+  std::size_t pos = 0;
+  while (pos < all.size()) {
+    const std::size_t nl = all.find('\n', pos);
+    if (nl == std::string::npos) {
+      damaged = true;  // torn mid-append: no terminating newline
+      break;
+    }
+    const std::string line = all.substr(pos, nl - pos);
+    pos = nl + 1;
+    const auto payload = check_line(line);
+    if (!payload) {
+      damaged = true;
+      break;
+    }
+    const std::vector<std::string> tok = split_ws(*payload);
+    bool ok = false;
+    if (tok.size() == 8 && tok[0] == "plan") {
+      JournalPlan p;
+      p.token = tok[1];
+      p.cells = std::strtoull(tok[2].c_str(), nullptr, 10);
+      p.req.plan = tok[3];
+      p.req.scale = tok[4];
+      p.req.watchdog = std::strtoull(tok[5].c_str(), nullptr, 10);
+      p.req.lockstep = tok[6] == "1";
+      p.req.refresh = tok[7] == "1";
+      p.done.assign(p.cells, false);
+      // A re-recorded token (the previous daemon recovered it too)
+      // replaces the earlier entry: the newest record is authoritative.
+      if (JournalPlan* prev = find_plan(p.token)) *prev = std::move(p);
+      else plans.push_back(std::move(p));
+      ok = true;
+    } else if (tok.size() == 3 && tok[0] == "cell") {
+      if (JournalPlan* p = find_plan(tok[1])) {
+        const std::size_t idx = std::strtoull(tok[2].c_str(), nullptr, 10);
+        if (idx < p->done.size()) p->done[idx] = true;
+        ok = true;
+      }
+    } else if (tok.size() == 2 && tok[0] == "done") {
+      if (JournalPlan* p = find_plan(tok[1])) {
+        p->complete = true;
+        ok = true;
+      }
+    }
+    // A record naming an unknown token (its plan line was quarantined
+    // earlier, or version drift) is damage too: stop at the last line we
+    // can fully interpret.
+    if (!ok) {
+      damaged = true;
+      break;
+    }
+    ++out.records;
+    good_end = pos;
+  }
+
+  if (damaged) {
+    // Move the unparseable tail aside for forensics and truncate the
+    // journal back to the last good record, so future appends never
+    // interleave with garbage.
+    const std::string tail = all.substr(good_end);
+    out.bad_bytes = tail.size();
+    if (!tail.empty()) {
+      out.quarantine = diag::quarantine_path_for(path);
+      std::ofstream q(out.quarantine, std::ios::binary | std::ios::trunc);
+      q << tail;
+    }
+    ::truncate(path.c_str(), static_cast<off_t>(good_end));
+  }
+
+  out.plans = std::move(plans);
+  return out;
+}
+
+}  // namespace hidisc::serve

@@ -1,0 +1,101 @@
+// The hiserve job journal: crash recovery for the daemon's in-flight
+// plans.
+//
+// An append-only text file beside the shared cache directory, one
+// checksummed record per line:
+//
+//   HSJL1 <fnv1a64-of-payload, 16 hex> <payload>
+//
+// with three payload shapes (space-separated; plan names are registry
+// identifiers and never contain spaces):
+//
+//   plan <token> <cells> <name> <scale> <watchdog> <lockstep> <refresh>
+//   cell <token> <cell-index>
+//   done <token>
+//
+// The daemon appends a `plan` record on submission, a `cell` record as
+// each cell completes (delivered or not), and `done` when the plan
+// finishes.  On startup, replay() reads the journal back: plans with no
+// `done` record are re-materialized by registry name and re-enqueued —
+// cells whose `cell` record survived come back as disk-cache hits (the
+// worker's ResultCache probe), so a restarted daemon finishes only the
+// missing work.  The per-line FNV-1a-64 checksum is the same integrity
+// discipline the result cache uses; a torn or corrupt tail (the daemon
+// was SIGKILLed mid-append) is moved to a quarantine file and the
+// journal truncated back to the last good record — never fatal, never
+// silently parsed.
+//
+// Single-writer discipline: the constructor takes a non-blocking
+// exclusive flock on the journal fd for the daemon's lifetime.  When a
+// second daemon points at the same journal, its journal is simply
+// disabled (active() == false) with a warning — two daemons sharing a
+// cache directory is legal; sharing a recovery log is not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace hidisc::serve {
+
+struct JournalPlan {
+  std::string token;
+  PlanRequest req;
+  std::size_t cells = 0;
+  std::vector<bool> done;  // per-cell completion records seen
+  bool complete = false;   // a `done` record was seen
+
+  [[nodiscard]] std::size_t done_count() const {
+    std::size_t n = 0;
+    for (const bool d : done) n += d ? 1 : 0;
+    return n;
+  }
+};
+
+struct JournalReplay {
+  std::vector<JournalPlan> plans;  // submission order
+  std::uint64_t records = 0;       // good records replayed
+  std::uint64_t bad_bytes = 0;     // quarantined tail length
+  std::string quarantine;          // where the bad tail went ("" = clean)
+};
+
+class JobJournal {
+ public:
+  JobJournal() = default;
+  // Opens (creating if needed, including the parent directory) with
+  // O_APPEND and takes the writer flock.  Lock contention or an
+  // unwritable path disables the journal instead of throwing.
+  explicit JobJournal(std::string path);
+  ~JobJournal();
+  JobJournal(JobJournal&& o) noexcept;
+  JobJournal& operator=(JobJournal&& o) noexcept;
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  void record_plan(const std::string& token, const PlanRequest& req,
+                   std::size_t cells);
+  void record_cell(const std::string& token, std::size_t cell);
+  void record_done(const std::string& token);
+
+  // Empties the journal (after a replay consumed it: recovered plans are
+  // re-recorded live, so the log never grows across restarts).
+  void truncate_all();
+
+  // Reads `path` and quarantines any torn/corrupt tail (moving the bad
+  // bytes aside and truncating the journal to the last good record).
+  // Missing file = empty replay.  Never throws on journal damage.
+  [[nodiscard]] static JournalReplay replay(const std::string& path);
+
+ private:
+  void append_line(const std::string& payload);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace hidisc::serve

@@ -11,6 +11,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace hidisc::serve {
@@ -113,6 +115,22 @@ void Conn::send_frame(const Frame& f) {
   send_all(fd_, wire.data(), wire.size());
 }
 
+void Conn::send_raw(const char* data, std::size_t n) {
+  if (fd_ < 0) throw TransportError("hiserve transport: send on closed conn");
+  send_all(fd_, data, n);
+}
+
+long Conn::try_send(const char* data, std::size_t n) {
+  if (fd_ < 0) return -1;
+  for (;;) {
+    const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w >= 0) return static_cast<long>(w);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
 std::optional<Frame> Conn::recv_frame() {
   for (;;) {
     if (auto f = dec_.next()) return f;
@@ -128,6 +146,47 @@ std::optional<Frame> Conn::recv_frame() {
       (void)::poll(&p, 1, -1);
       continue;
     }
+    if (r == 0) {
+      if (dec_.buffered() > 0)
+        throw TransportError(
+            "hiserve transport: peer closed mid-frame (truncated stream)");
+      return std::nullopt;
+    }
+    throw_errno("recv");
+  }
+}
+
+std::optional<Frame> Conn::recv_frame_for(int timeout_ms, bool* timed_out) {
+  if (timed_out) *timed_out = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (auto f = dec_.next()) return f;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) {
+      if (timed_out) *timed_out = true;
+      return std::nullopt;
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, static_cast<int>(left));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (pr == 0) {
+      if (timed_out) *timed_out = true;
+      return std::nullopt;
+    }
+    char buf[64 * 1024];
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      dec_.feed(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+      continue;
     if (r == 0) {
       if (dec_.buffered() > 0)
         throw TransportError(
@@ -216,13 +275,36 @@ Listener Listener::listen(const std::string& endpoint) {
     sockaddr_un addr = unix_addr(endpoint);
     if (::bind(l.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
       if (errno != EADDRINUSE) throw_errno("bind " + endpoint);
-      // A socket file exists.  Probe it: a live listener accepts, a stale
-      // file refuses — only the stale one may be replaced.
+      // A socket file exists.  Probe it: only a daemon that both accepts
+      // AND answers a Ping within 300ms counts as live — a connect() that
+      // succeeds against a dead-but-undrained backlog, or a hung process,
+      // must not block a restart after SIGKILL.
+      bool live = false;
       const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-      const bool live =
-          probe >= 0 &&
+      if (probe >= 0 &&
           ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
-              0;
+              0) {
+        Frame ping;
+        ping.type = MsgType::Ping;
+        const std::string wire = encode_frame(ping);
+        if (::send(probe, wire.data(), wire.size(), MSG_NOSIGNAL) ==
+            static_cast<ssize_t>(wire.size())) {
+          pollfd p{probe, POLLIN, 0};
+          if (::poll(&p, 1, 300) > 0 && (p.revents & POLLIN)) {
+            char buf[4096];
+            const ssize_t r = ::recv(probe, buf, sizeof buf, 0);
+            if (r > 0) {
+              FrameDecoder dec;
+              dec.feed(buf, static_cast<std::size_t>(r));
+              try {
+                live = dec.next().has_value();
+              } catch (const ProtocolError&) {
+                live = false;  // garbage back = not a healthy daemon
+              }
+            }
+          }
+        }
+      }
       if (probe >= 0) ::close(probe);
       if (live)
         throw TransportError("hiserve transport: " + endpoint +
@@ -249,11 +331,14 @@ Conn Listener::accept() {
 Conn connect_to(const std::string& endpoint) {
   // A daemon that is still starting up has a window where the endpoint
   // exists but does not accept yet (Unix: bind done, listen pending;
-  // TCP: nothing bound).  Retry those two transient failures briefly so
-  // `hilab --connect` races cleanly against `hiserved &`; every other
-  // errno (permissions, bad address) fails immediately.
-  constexpr int kAttempts = 40;       // x 50ms = 2s of patience
-  constexpr int kRetryDelayUs = 50 * 1000;
+  // TCP: nothing bound).  Retry those two transient failures with
+  // exponential backoff (10ms doubling to a 640ms cap, ~3s total) so
+  // `hilab --connect` races cleanly against `hiserved &` without
+  // hammering a dead endpoint; every other errno (permissions, bad
+  // address) fails immediately.
+  constexpr int kAttempts = 10;
+  int delay_us = 10 * 1000;
+  constexpr int kDelayCapUs = 640 * 1000;
   for (int attempt = 0;; ++attempt) {
     int fd = -1;
     if (is_tcp_endpoint(endpoint)) {
@@ -276,7 +361,8 @@ Conn connect_to(const std::string& endpoint) {
       errno = saved;
       throw_errno("connect " + endpoint);
     }
-    ::usleep(kRetryDelayUs);
+    ::usleep(delay_us);
+    delay_us = std::min(delay_us * 2, kDelayCapUs);
   }
 }
 

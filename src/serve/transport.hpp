@@ -47,9 +47,22 @@ class Conn {
   // Whole-frame send; throws TransportError when the peer is gone.
   void send_frame(const Frame& f);
 
+  // Raw byte sends, for the chaos wrapper and the daemon's write queue:
+  // send_raw blocks like send_frame (EAGAIN handled via poll); try_send
+  // makes exactly one non-blocking attempt and returns the bytes written
+  // (0 = would block) or -1 when the peer is gone.
+  void send_raw(const char* data, std::size_t n);
+  [[nodiscard]] long try_send(const char* data, std::size_t n);
+
   // Blocking receive of the next frame; nullopt = orderly EOF with no
   // partial frame buffered (a partial frame at EOF is a TransportError).
   [[nodiscard]] std::optional<Frame> recv_frame();
+
+  // recv_frame with a deadline: nullopt with *timed_out=true when no
+  // complete frame arrived within timeout_ms (the partial bytes stay
+  // buffered); otherwise identical to recv_frame.
+  [[nodiscard]] std::optional<Frame> recv_frame_for(int timeout_ms,
+                                                    bool* timed_out);
 
   // Non-blocking drain of readable bytes into the decoder (for poll
   // loops).  Returns false when the peer has hung up (EOF or reset);

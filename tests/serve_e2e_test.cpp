@@ -21,8 +21,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +33,8 @@
 #include "lab/runner.hpp"
 #include "lab/serialize.hpp"
 #include "serve/client.hpp"
+#include "serve/journal.hpp"
+#include "serve/transport.hpp"
 #include "serve/worker.hpp"
 
 namespace fs = std::filesystem;
@@ -87,6 +91,15 @@ class Daemon {
     ::waitpid(pid_, &status, 0);
     pid_ = -1;
     return status;
+  }
+
+  // Simulated crash: SIGKILL with no drain, reaped immediately — the
+  // scenario the job journal exists for.
+  void kill9() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
   }
 
   ~Daemon() {
@@ -264,6 +277,199 @@ TEST(ServeE2E, UnknownPlanIsAnErrorFrameNotACrash) {
   const lab::ExperimentPlan plan = serve::materialize_plan(req);
   const auto run = serve::run_plan_connected(req, plan, copt);
   EXPECT_TRUE(run.run.ok());
+  const int status = daemon.stop();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// --- chaos hardening (PR-9) ------------------------------------------------
+
+// Client-side deterministic fault injection: a corrupted SubmitPlan (the
+// daemon's decoder poisons and hangs up on us), then a mid-stream
+// connection drop after the plan token was issued.  The client must
+// survive both — reconnect, re-attach by token, deduplicate redelivered
+// cells — and finish with results bit-identical to a local run.
+TEST(ServeE2E, ClientChaosSurvivesCorruptionAndDrop) {
+  TempDir dir;
+  const std::string sock = dir.path + "/s.sock";
+  const serve::PlanRequest req = test_request();
+  const lab::ExperimentPlan plan = serve::materialize_plan(req);
+  lab::RunOptions lopt;
+  lopt.threads = 2;
+  lopt.cache_dir.clear();
+  const lab::PlanRun local = lab::run_plan(plan, lopt);
+  ASSERT_TRUE(local.ok());
+
+  Daemon daemon(sock, dir.path + "/cache");
+  serve::ClientOptions copt;
+  copt.endpoint = sock;
+  copt.chaos_net = "11:corrupt@2,drop@6,split";
+  copt.max_reconnects = 12;
+  const serve::ConnectedRun run = serve::run_plan_connected(req, plan, copt);
+
+  expect_identical_to_local(run.run, local);
+  EXPECT_GE(run.reconnects, 1u);
+  EXPECT_GE(run.resumes, 1u);  // the post-token drop re-attached, not
+                               // re-submitted
+  const int status = daemon.stop();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// Daemon-side fault injection (--chaos-net): every accepted connection
+// draws a seeded fault schedule, and the process-global budgets
+// guarantee the campaign converges to a clean completion.  The injected
+// faults must be visible in the service stats.
+TEST(ServeE2E, DaemonChaosCampaignConverges) {
+  TempDir dir;
+  const std::string sock = dir.path + "/s.sock";
+  const serve::PlanRequest req = test_request();
+  const lab::ExperimentPlan plan = serve::materialize_plan(req);
+  lab::RunOptions lopt;
+  lopt.threads = 2;
+  lopt.cache_dir.clear();
+  const lab::PlanRun local = lab::run_plan(plan, lopt);
+  ASSERT_TRUE(local.ok());
+
+  Daemon daemon(sock, dir.path + "/cache",
+                {"--chaos-net", "13:drop@7x3,stall@2=5"});
+  serve::ClientOptions copt;
+  copt.endpoint = sock;
+  copt.max_reconnects = 12;
+  const serve::ConnectedRun run = serve::run_plan_connected(req, plan, copt);
+
+  expect_identical_to_local(run.run, local);
+  EXPECT_GE(run.reconnects, 1u);
+
+  const std::string stats = serve::fetch_service_stats(sock);
+  EXPECT_GE(stat(stats, "chaos_conns"), 2u) << stats;
+  EXPECT_GE(stat(stats, "chaos_drops_injected"), 1u) << stats;
+  EXPECT_LE(stat(stats, "chaos_drops_injected"), 3u) << stats;
+  EXPECT_GE(stat(stats, "chaos_stalls_injected"), 1u) << stats;
+  EXPECT_EQ(stat(stats, "jobs_failed"), 0u) << stats;
+  EXPECT_EQ(stat(stats, "cells_failed"), 0u) << stats;
+  const int status = daemon.stop();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// The tentpole scenario end to end: SIGKILL the daemon mid-plan, start a
+// fresh daemon on the same socket + cache (exercising stale-socket
+// replacement), and let the same client ride through it.  The client
+// must reconnect and re-attach by token; the new daemon must replay the
+// journal, recover the plan, and serve every journaled cell from the
+// shared disk cache instead of re-simulating it; the merged results must
+// be bit-identical to a local run.
+TEST(ServeE2E, KillRestartRecoverResume) {
+  TempDir dir;
+  const std::string sock = dir.path + "/s.sock";
+  const std::string cache = dir.path + "/cache";
+  const std::string journal = cache + "/journal.hsjl";
+  const serve::PlanRequest req = test_request();
+  const lab::ExperimentPlan plan = serve::materialize_plan(req);
+  lab::RunOptions lopt;
+  lopt.threads = 2;
+  lopt.cache_dir.clear();
+  const lab::PlanRun local = lab::run_plan(plan, lopt);
+  ASSERT_TRUE(local.ok());
+
+  // One worker, so the plan is still in flight when the axe falls.
+  Daemon first(sock, cache, {"--workers", "1"});
+
+  serve::ConnectedRun run;
+  std::string error;
+  std::thread client([&] {
+    try {
+      serve::ClientOptions copt;
+      copt.endpoint = sock;
+      copt.max_reconnects = 25;
+      run = serve::run_plan_connected(req, plan, copt);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  });
+
+  // Wait until at least 3 cells hit the journal, then SIGKILL.
+  const auto journaled_cells = [&] {
+    std::ifstream in(journal);
+    std::size_t n = 0;
+    std::string line;
+    while (std::getline(in, line))
+      if (line.find(" cell ") != std::string::npos) ++n;
+    return n;
+  };
+  for (int waited = 0; journaled_cells() < 3 && waited < 60000; waited += 50)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_GE(journaled_cells(), 3u) << "plan never started journaling";
+  first.kill9();
+
+  // A fresh daemon on the same socket path (stale file, no live
+  // listener -> replaced) and the same cache + journal.
+  Daemon second(sock, cache);
+  client.join();
+  ASSERT_TRUE(error.empty()) << error;
+
+  expect_identical_to_local(run.run, local);
+  EXPECT_GE(run.reconnects, 1u);
+  EXPECT_GE(run.resumes, 1u);
+
+  const std::string stats = serve::fetch_service_stats(sock);
+  EXPECT_EQ(stat(stats, "journal_plans_recovered"), 1u) << stats;
+  const std::uint64_t recovered = stat(stats, "journal_cells_recovered");
+  EXPECT_GE(recovered, 3u) << stats;
+  // Every journaled cell came back as a disk-cache hit (the worker
+  // writes the cache before reporting, so a journaled cell is always
+  // cached): zero warm cells were re-simulated.
+  EXPECT_GE(stat(stats, "disk_cache_hits"), recovered) << stats;
+  EXPECT_EQ(stat(stats, "jobs_done"), plan.cells.size()) << stats;
+  EXPECT_EQ(stat(stats, "jobs_failed"), 0u) << stats;
+  EXPECT_EQ(stat(stats, "cells_failed"), 0u) << stats;
+  EXPECT_GE(stat(stats, "resumes"), 1u) << stats;
+
+  const int status = second.stop();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The journal records the full recovered trajectory: a re-recorded
+  // plan, its cells, and the final done marker.
+  const serve::JournalReplay replayed = serve::JobJournal::replay(journal);
+  ASSERT_EQ(replayed.plans.size(), 1u);
+  EXPECT_TRUE(replayed.plans[0].complete);
+  EXPECT_EQ(replayed.plans[0].done_count(), plan.cells.size());
+}
+
+// A client that handshakes and then goes silent must not hold resources
+// forever: the daemon reaps it after --client-idle-timeout, while a
+// healthy (heartbeating) client on the same daemon finishes untouched.
+TEST(ServeE2E, SilentClientIsReapedHealthyClientSurvives) {
+  TempDir dir;
+  const std::string sock = dir.path + "/s.sock";
+  Daemon daemon(sock, dir.path + "/cache", {"--client-idle-timeout", "2"});
+
+  // The stuck client: Hello, HelloOk, then nothing — no Pings, no plan.
+  serve::Conn stuck = serve::connect_to(sock);
+  stuck.send_frame(serve::Frame{serve::MsgType::Hello,
+                                serve::kv_encode({{"proto", "1"}})});
+  ASSERT_TRUE(stuck.recv_frame().has_value());  // HelloOk
+
+  // A healthy client with a heartbeat faster than the idle timeout.
+  const serve::PlanRequest req = test_request();
+  const lab::ExperimentPlan plan = serve::materialize_plan(req);
+  serve::ClientOptions copt;
+  copt.endpoint = sock;
+  copt.heartbeat_ms = 500;
+  const serve::ConnectedRun run = serve::run_plan_connected(req, plan, copt);
+  EXPECT_TRUE(run.run.ok());
+  EXPECT_EQ(run.reconnects, 0u);  // the reaper must not touch the living
+
+  // The reaper fires on its own schedule; poll the stats for it.
+  std::uint64_t reaped = 0;
+  for (int waited = 0; waited < 15000; waited += 200) {
+    reaped = stat(serve::fetch_service_stats(sock), "clients_dropped_idle");
+    if (reaped >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  EXPECT_GE(reaped, 1u);
   const int status = daemon.stop();
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);

@@ -17,16 +17,22 @@
 // bit-identical to a local run of the same plan:
 //
 //   hilab --connect /tmp/hiserve.sock --plan paper [--refresh]
+//         [--reconnect N] [--chaos-net SEED:SPEC]
 //         [--service-stats FILE|-] [--json ...] [--csv ...]
 //
 // Guarantees: results are bit-identical for every --threads value (and
 // for --connect against any worker count), and a second invocation
-// against a warm cache simulates zero cells.
+// against a warm cache simulates zero cells.  A --connect run survives
+// connection loss and daemon restarts: the client reconnects with
+// bounded backoff and re-attaches to its plan by token.
 //
 // Exit codes: 0 = every cell healthy, 4 = partial failure (some cells
 // failed; healthy cells still exported), 1 = infrastructure error (bad
-// plan... broken cache dir, export I/O, daemon unreachable), 2 = usage
-// (including an unknown --plan name, which lists the available plans).
+// plan, broken cache dir, export I/O, mid-plan daemon loss past the
+// reconnect budget), 2 = usage (including an unknown --plan name, which
+// lists the available plans), 5 = daemon unreachable (--connect never
+// got a handshake; the issue is almost always that hiserved isn't
+// running at that endpoint).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -72,6 +78,10 @@ int usage(const char* argv0) {
       "                    Local runs only (repeatable)\n"
       "  --connect EP      run on a hiserved daemon at EP (socket path or\n"
       "                    tcp:HOST:PORT) instead of in this process\n"
+      "  --reconnect N     with --connect: survive up to N connection\n"
+      "                    losses by re-attaching to the plan (default 8)\n"
+      "  --chaos-net SEED:SPEC  with --connect: deterministic client-side\n"
+      "                    network fault injection (see docs/SERVE.md)\n"
       "  --service-stats F with --connect: fetch the daemon's stats JSON\n"
       "                    after the run and write it to F ('-' = stdout)\n"
       "  --json FILE       export full results as JSON ('-' = stdout)\n"
@@ -199,6 +209,8 @@ int main(int argc, char** argv) {
   int threads = lab::default_threads();
   bool refresh = false, quiet = false, lockstep = false;
   std::uint64_t watchdog = 0;  // 0 = keep each cell's own threshold
+  std::string chaos_net;
+  int reconnects = 8;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -241,6 +253,18 @@ int main(int argc, char** argv) {
       else if (arg == "--lockstep") lockstep = true;
       else if (arg == "--override") overrides.push_back(value());
       else if (arg == "--connect") connect_ep = value();
+      else if (arg == "--reconnect") {
+        const std::string v = value();
+        try {
+          reconnects = std::stoi(v);
+        } catch (const std::exception&) {
+          throw std::runtime_error("--reconnect needs an integer, got '" + v +
+                                   "'");
+        }
+        if (reconnects < 0)
+          throw std::runtime_error("--reconnect must be >= 0");
+      }
+      else if (arg == "--chaos-net") chaos_net = value();
       else if (arg == "--service-stats") stats_path = value();
       else if (arg == "--json") json_path = value();
       else if (arg == "--csv") csv_path = value();
@@ -261,6 +285,10 @@ int main(int argc, char** argv) {
   }
   if (!stats_path.empty() && connect_ep.empty()) {
     std::fprintf(stderr, "hilab: --service-stats needs --connect\n");
+    return 2;
+  }
+  if (!chaos_net.empty() && connect_ep.empty()) {
+    std::fprintf(stderr, "hilab: --chaos-net needs --connect\n");
     return 2;
   }
   if (!overrides.empty() && !connect_ep.empty()) {
@@ -327,10 +355,16 @@ int main(int argc, char** argv) {
       req.refresh = refresh;
       serve::ClientOptions copt;
       copt.endpoint = connect_ep;
+      copt.chaos_net = chaos_net;
+      copt.max_reconnects = reconnects;
       if (!quiet) copt.on_cell = progress;
       serve::ConnectedRun cr = serve::run_plan_connected(req, plan, copt);
       run = std::move(cr.run);
       dedup_cells = cr.dedup;
+      if (cr.reconnects > 0 && !quiet)
+        std::fprintf(stderr,
+                     "hilab: survived %zu connection losses (%zu resumes)\n",
+                     cr.reconnects, cr.resumes);
     }
 
     // An export aimed at stdout owns it: keep the human report off the pipe.
@@ -414,6 +448,12 @@ int main(int argc, char** argv) {
       return 4;
     }
     return 0;
+  } catch (const serve::ConnectError& e) {
+    std::fprintf(stderr,
+                 "hilab: %s\nhilab: is hiserved running at that endpoint? "
+                 "(start it with: hiserved --socket PATH)\n",
+                 e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hilab: %s\n", e.what());
     return 1;
