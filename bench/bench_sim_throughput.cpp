@@ -80,6 +80,27 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration);
 
+// Threaded-code interpreter vs the reference switch interpreter, on the
+// compiled (separated) Matrix binary so queue opcodes and fused pairs are
+// exercised.  Arg 0 = threaded (run_trace), Arg 1 = reference
+// (run_trace_ref); /0 over /1 is the dispatch+decode speedup the
+// pre-decoded engine buys.  items = trace entries.
+void BM_Functional(benchmark::State& state) {
+  const auto w = workloads::make_matrix(workloads::Scale::Test);
+  const auto comp = compiler::compile(w.program);
+  const bool reference = state.range(0) != 0;
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    sim::Functional f(comp.separated);
+    const auto trace = reference ? f.run_trace_ref() : f.run_trace();
+    entries += trace.size();
+    benchmark::DoNotOptimize(trace.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(entries));
+  state.SetLabel(reference ? "reference switch" : "threaded");
+}
+BENCHMARK(BM_Functional)->Arg(0)->Arg(1);
+
 void BM_SuperscalarCycleSim(benchmark::State& state) {
   const auto w = workloads::make_dm(workloads::Scale::Test);
   const auto comp = compiler::compile(w.program);

@@ -1,5 +1,6 @@
 #include "fuzz/oracle.hpp"
 
+#include <cstring>
 #include <exception>
 #include <sstream>
 #include <vector>
@@ -183,6 +184,91 @@ std::string deadlock_signature(const MachineVerdict& mv) {
   return sig;
 }
 
+// One functional execution as seen by the downstream oracles: outcome,
+// trace, and the state summaries they consume.
+struct FsimRun {
+  bool ok = true;
+  std::string err;
+  sim::Trace trace;
+  std::uint64_t mem_digest = 0;
+  std::uint64_t instructions = 0;
+};
+
+// Dual-interpreter differential: executes `bin` through the threaded-code
+// interpreter and, independently, the reference switch interpreter, and
+// demands byte-identical traces, identical error outcomes and identical
+// final architectural state.  Returns a non-empty divergence description on
+// mismatch; on agreement `*out` holds the threaded run so callers reuse it
+// instead of executing a third time.
+std::string fsim_differential(const isa::Program& bin,
+                              std::uint64_t max_steps, FsimRun* out) {
+  sim::Functional ft(bin);
+  bool t_ok = true;
+  std::string t_err;
+  sim::Trace t_trace;
+  try {
+    t_trace = ft.run_trace(max_steps);
+  } catch (const std::exception& e) {
+    t_ok = false;
+    t_err = e.what();
+  }
+
+  sim::Functional fr(bin);
+  bool r_ok = true;
+  std::string r_err;
+  sim::Trace r_trace;
+  try {
+    r_trace = fr.run_trace_ref(max_steps);
+  } catch (const std::exception& e) {
+    r_ok = false;
+    r_err = e.what();
+  }
+
+  out->ok = t_ok;
+  out->err = t_err;
+  out->trace = std::move(t_trace);
+  out->mem_digest = ft.memory().digest();
+  out->instructions = ft.instructions();
+
+  if (t_ok != r_ok)
+    return std::string("threaded interpreter ") +
+           (t_ok ? "succeeded" : ("failed (\"" + t_err + "\")")) +
+           " but reference " + (r_ok ? "succeeded" : ("failed (\"" + r_err + "\")"));
+  if (!t_ok && t_err != r_err)
+    return "error mismatch: threaded \"" + t_err + "\" vs reference \"" +
+           r_err + "\"";
+  if (out->trace.size() != r_trace.size())
+    return "trace length " + std::to_string(out->trace.size()) +
+           " vs reference " + std::to_string(r_trace.size());
+  if (!out->trace.empty() &&
+      std::memcmp(out->trace.data(), r_trace.data(),
+                  out->trace.size() * sizeof(sim::TraceEntry)) != 0) {
+    for (std::size_t i = 0; i < r_trace.size(); ++i) {
+      const sim::TraceEntry& g = out->trace[i];
+      const sim::TraceEntry& w = r_trace[i];
+      if (g.static_idx != w.static_idx || g.next != w.next ||
+          g.addr != w.addr || g.value != w.value)
+        return "trace entry " + std::to_string(i) + " mismatch: threaded {" +
+               std::to_string(g.static_idx) + "," + std::to_string(g.next) +
+               "," + std::to_string(g.addr) + "," + std::to_string(g.value) +
+               "} reference {" + std::to_string(w.static_idx) + "," +
+               std::to_string(w.next) + "," + std::to_string(w.addr) + "," +
+               std::to_string(w.value) + "}";
+    }
+    return "trace bytes differ (padding?)";
+  }
+  if (ft.instructions() != fr.instructions())
+    return "instruction count " + std::to_string(ft.instructions()) +
+           " vs reference " + std::to_string(fr.instructions());
+  if (ft.pc() != fr.pc())
+    return "final pc " + std::to_string(ft.pc()) + " vs reference " +
+           std::to_string(fr.pc());
+  if (ft.halted() != fr.halted()) return "halted flag mismatch";
+  if (ft.state_digest() != fr.state_digest())
+    return "architectural state digest mismatch";
+  return {};
+}
+
 std::string first_violations(const compiler::VerifyResult& vr, std::size_t n) {
   std::ostringstream os;
   for (std::size_t i = 0; i < vr.violations.size() && i < n; ++i) {
@@ -222,6 +308,7 @@ const char* stage_name(Stage s) noexcept {
     case Stage::Compile: return "compile";
     case Stage::Verify: return "verify";
     case Stage::FunctionalSeparated: return "functional-separated";
+    case Stage::FsimDivergence: return "fsim-divergence";
     case Stage::DigestMismatch: return "digest-mismatch";
     case Stage::Machine: return "machine";
     case Stage::SchedulerDivergence: return "scheduler-divergence";
@@ -242,17 +329,17 @@ OracleReport run_oracles(const std::string& source, const OracleOptions& opt) {
   }
   rep.static_instructions = prog.code.size();
 
-  // 2. Functional execution of the raw sequential program.
+  // 2. Functional execution of the raw sequential program, as a
+  // dual-interpreter differential (threaded vs reference switch).
   std::uint64_t orig_digest = 0;
   {
-    sim::Functional f(prog);
-    try {
-      f.run(opt.max_steps);
-    } catch (const std::exception& e) {
-      return fail(rep, Stage::FunctionalOriginal, "functional-original", e.what());
-    }
-    orig_digest = f.memory().digest();
-    rep.dynamic_instructions = f.instructions();
+    FsimRun f;
+    if (auto div = fsim_differential(prog, opt.max_steps, &f); !div.empty())
+      return fail(rep, Stage::FsimDivergence, "fsim-div:original", div);
+    if (!f.ok)
+      return fail(rep, Stage::FunctionalOriginal, "functional-original", f.err);
+    orig_digest = f.mem_digest;
+    rep.dynamic_instructions = f.instructions;
   }
 
   // 3. Compile (flow-sensitive separator, CMAS on).
@@ -275,18 +362,22 @@ OracleReport run_oracles(const std::string& source, const OracleOptions& opt) {
   // 5. Structural verification of the separated binary.
   const auto vr = compiler::verify_separation(comp.separated);
 
-  // 6. Functional execution of the separated binary.
+  // 6. Functional execution of the separated binary (differential again:
+  // queue opcodes and EOD protocols only appear post-separation, so this
+  // leg covers interpreter paths the raw program cannot reach).
   bool sep_ok = true;
   std::string sep_err;
   std::uint64_t sep_digest = 0;
   sim::Trace sep_trace;
-  try {
-    sim::Functional fs(comp.separated);
-    sep_trace = fs.run_trace(opt.max_steps);
-    sep_digest = fs.memory().digest();
-  } catch (const std::exception& e) {
-    sep_ok = false;
-    sep_err = e.what();
+  {
+    FsimRun fs;
+    if (auto div = fsim_differential(comp.separated, opt.max_steps, &fs);
+        !div.empty())
+      return fail(rep, Stage::FsimDivergence, "fsim-div:separated", div);
+    sep_ok = fs.ok;
+    sep_err = fs.err;
+    sep_digest = fs.mem_digest;
+    sep_trace = std::move(fs.trace);
   }
 
   // 7. Machines: every preset under both schedulers.  Superscalar and
@@ -296,12 +387,16 @@ OracleReport run_oracles(const std::string& source, const OracleOptions& opt) {
   bool machines_ran = false;
   if (opt.run_machines && sep_ok) {
     sim::Trace orig_trace;
-    try {
-      sim::Functional fo(comp.original);
-      orig_trace = fo.run_trace(opt.max_steps);
-    } catch (const std::exception& e) {
-      return fail(rep, Stage::FunctionalOriginal, "functional-annotated-original",
-                  e.what());
+    {
+      FsimRun fo;
+      if (auto div = fsim_differential(comp.original, opt.max_steps, &fo);
+          !div.empty())
+        return fail(rep, Stage::FsimDivergence, "fsim-div:annotated-original",
+                    div);
+      if (!fo.ok)
+        return fail(rep, Stage::FunctionalOriginal,
+                    "functional-annotated-original", fo.err);
+      orig_trace = std::move(fo.trace);
     }
     machines_ran = true;
     check_preset(mv, comp.original, orig_trace, machine::Preset::Superscalar,
@@ -359,15 +454,18 @@ OracleReport run_oracles(const std::string& source, const OracleOptions& opt) {
     if (!fvr.ok())
       return fail(rep, Stage::Verify, "verify-reject-flow-insensitive",
                   first_violations(fvr, 3));
-    try {
-      sim::Functional ff(fi.separated);
-      ff.run(opt.max_steps);
-      if (ff.memory().digest() != orig_digest)
+    {
+      FsimRun ff;
+      if (auto div = fsim_differential(fi.separated, opt.max_steps, &ff);
+          !div.empty())
+        return fail(rep, Stage::FsimDivergence, "fsim-div:flow-insensitive",
+                    div);
+      if (!ff.ok)
+        return fail(rep, Stage::FunctionalSeparated,
+                    "functional-flow-insensitive", ff.err);
+      if (ff.mem_digest != orig_digest)
         return fail(rep, Stage::DigestMismatch, "digest-flow-insensitive",
                     "flow-insensitive separation changed the memory image");
-    } catch (const std::exception& e) {
-      return fail(rep, Stage::FunctionalSeparated,
-                  "functional-flow-insensitive", e.what());
     }
     if (fi.inserted_pops < comp.inserted_pops)
       return fail(rep, Stage::Compile, "flow-insensitive-fewer-pops",
@@ -415,13 +513,14 @@ OracleReport run_decoupled_oracles(const std::string& source,
   sim::Trace trace;
   bool func_ok = true;
   std::string func_err;
-  try {
-    sim::Functional f(prog);
-    trace = f.run_trace(opt.max_steps);
-    rep.dynamic_instructions = trace.size();
-  } catch (const std::exception& e) {
-    func_ok = false;
-    func_err = e.what();
+  {
+    FsimRun f;
+    if (auto div = fsim_differential(prog, opt.max_steps, &f); !div.empty())
+      return fail(rep, Stage::FsimDivergence, "fsim-div:decoupled", div);
+    func_ok = f.ok;
+    func_err = f.err;
+    trace = std::move(f.trace);
+    if (func_ok) rep.dynamic_instructions = trace.size();
   }
 
   MachineVerdict mv;

@@ -7,6 +7,13 @@
 //            -> hidisc compile (flow-sensitive + flow-insensitive)
 //            -> verify_separation on the separated binary
 //            -> functional sim of the separated binary
+//
+// Every functional leg is a dual-interpreter differential: the program runs
+// through both the threaded-code interpreter (run_trace) and the reference
+// switch interpreter (run_trace_ref) and the two must produce byte-identical
+// traces, identical error outcomes and identical final architectural state
+// (docs/FUNCTIONAL.md).  A mismatch fails with Stage::FsimDivergence under a
+// "fsim-div:<shape>" signature.
 //            -> memory-image equality original vs separated (both modes)
 //            -> all four machine presets, each run under the EventSkip AND
 //               Lockstep schedulers, asserting bit-identical Results,
@@ -58,6 +65,7 @@ enum class Stage : std::uint8_t {
   Compile,
   Verify,
   FunctionalSeparated,
+  FsimDivergence,  // threaded vs reference interpreter disagree
   DigestMismatch,
   Machine,
   SchedulerDivergence,

@@ -42,7 +42,9 @@ void append_phase_object(std::ostringstream& out, const char* name,
   out << "    \"" << name << "\": {\"total\": " << ph.total
       << ", \"hits\": " << ph.hits << ", \"rebuilt\": " << ph.rebuilt
       << ", \"failed\": " << ph.failed << ", \"skipped\": " << ph.skipped()
-      << '}' << (last ? "\n" : ",\n");
+      << ", \"ms_hits\": " << format_double(ph.ms_hits)
+      << ", \"ms_rebuilt\": " << format_double(ph.ms_rebuilt) << '}'
+      << (last ? "\n" : ",\n");
 }
 
 }  // namespace

@@ -118,7 +118,9 @@ struct Pipeline::Exec {
 
   void run_compile(CompileNode* c) {
     bool memo_hit = false;
+    const auto start = Clock::now();
     auto art = self->obtain_compile(*c, &memo_hit);
+    const double ms = ms_since(start);
     {
       std::lock_guard<std::mutex> lock(mu);
       c->out = art;
@@ -130,6 +132,7 @@ struct Pipeline::Exec {
         ++ph.hits;
       else
         ++ph.rebuilt;
+      (memo_hit && art->ok() ? ph.ms_hits : ph.ms_rebuilt) += ms;
     }
     if (!art->ok()) {
       // Poison exactly the cells under this compile; its trace nodes are
@@ -155,15 +158,22 @@ struct Pipeline::Exec {
     s->out.orig_dynamic_instructions = comp.comp.profile.dynamic_instructions;
     const Stores& st = self->stores_;
     if (st.results && !st.refresh) {
-      if (auto hit = st.results->load(s->out.key)) {
+      const auto start = Clock::now();
+      auto hit = st.results->load(s->out.key);
+      const double ms = ms_since(start);
+      if (hit) {
         s->out.result = hit->result;
         s->out.orig_dynamic_instructions = hit->orig_dynamic_instructions;
         s->out.from_cache = true;
         std::lock_guard<std::mutex> lock(mu);
         ++out->nodes.sim.hits;
+        out->nodes.sim.ms_hits += ms;
         finish_cell_locked(s, /*from_cache=*/true);
         return;
       }
+      // A missed probe still costs a disk lookup; the node ends up rebuilt.
+      std::lock_guard<std::mutex> lock(mu);
+      out->nodes.sim.ms_rebuilt += ms;
     }
     // Miss: demand the trace node.  First demander dispatches it; later
     // ones either queue behind it or, when it already completed, go
@@ -190,8 +200,10 @@ struct Pipeline::Exec {
   void run_trace(TraceNode* t) {
     const CompileNode& c = *t->compile;
     bool hit = false;
+    const auto start = Clock::now();
     auto art = self->obtain_trace(t->key, c.out->binary(t->mode),
                                   c.options.max_steps, &hit);
+    const double ms = ms_since(start);
     std::vector<SimNode*> waiting;
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -204,6 +216,7 @@ struct Pipeline::Exec {
         ++ph.hits;
       else
         ++ph.rebuilt;
+      (hit && art->ok() ? ph.ms_hits : ph.ms_rebuilt) += ms;
       waiting = std::move(t->waiting);
     }
     for (SimNode* s : waiting) release_sim(s, *art);
@@ -232,6 +245,7 @@ struct Pipeline::Exec {
     } catch (const diag::DeadlockError& e) {
       std::lock_guard<std::mutex> lock(mu);
       ++out->nodes.sim.failed;
+      out->nodes.sim.ms_rebuilt += ms_since(start);
       s->out.error = e.what();
       s->out.error_class =
           std::string("deadlock:") + diag::cause_name(e.report().cause);
@@ -241,6 +255,7 @@ struct Pipeline::Exec {
     } catch (const std::exception& e) {
       std::lock_guard<std::mutex> lock(mu);
       ++out->nodes.sim.failed;
+      out->nodes.sim.ms_rebuilt += ms_since(start);
       s->out.error = e.what();
       s->out.error_class = "sim";
       finish_cell_locked(s, /*from_cache=*/false);
@@ -259,6 +274,7 @@ struct Pipeline::Exec {
                           s->out.orig_dynamic_instructions});
     std::lock_guard<std::mutex> lock(mu);
     ++out->nodes.sim.rebuilt;
+    out->nodes.sim.ms_rebuilt += s->out.wall_ms;
     finish_cell_locked(s, /*from_cache=*/false);
   }
 };

@@ -22,6 +22,16 @@ struct PhaseStats {
   std::uint64_t rebuilt = 0;  // executed this run
   std::uint64_t failed = 0;   // executed and failed
 
+  // Wall time spent in this phase, split by what the time bought: ms_hits
+  // covers cache probes that were satisfied without executing (memo lookup,
+  // store load, result-cache probe), ms_rebuilt covers fresh executions
+  // (failed ones included — the time was spent either way).  Summed across
+  // worker threads, so on a pooled run the figures can exceed the run's
+  // wall clock; they answer "where did the compute go", not "how long did
+  // I wait".
+  double ms_hits = 0.0;
+  double ms_rebuilt = 0.0;
+
   // Nodes never demanded, or poisoned by an upstream failure.
   [[nodiscard]] std::uint64_t skipped() const noexcept {
     const std::uint64_t used = hits + rebuilt + failed;
@@ -33,6 +43,8 @@ struct PhaseStats {
     hits += o.hits;
     rebuilt += o.rebuilt;
     failed += o.failed;
+    ms_hits += o.ms_hits;
+    ms_rebuilt += o.ms_rebuilt;
     return *this;
   }
 };

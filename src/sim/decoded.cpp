@@ -1,0 +1,149 @@
+#include "sim/decoded.hpp"
+
+namespace hidisc::sim {
+
+namespace {
+
+using isa::Opcode;
+
+// Register-commit class of each opcode, mirroring the reference
+// interpreter's commit rule exactly: an int result only lands when the
+// destination operand is an *int* register other than r0; an fp result only
+// lands when the destination is an *fp* register (f0 is writable).
+enum class Commit { None, Int, Fp };
+
+Commit commit_class(Opcode op) {
+  switch (op) {
+    case Opcode::ADD: case Opcode::SUB: case Opcode::MUL: case Opcode::DIV:
+    case Opcode::REM: case Opcode::AND: case Opcode::OR: case Opcode::XOR:
+    case Opcode::NOR: case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+    case Opcode::SLT: case Opcode::SLTU: case Opcode::ADDI: case Opcode::ANDI:
+    case Opcode::ORI: case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+    case Opcode::SRAI: case Opcode::SLTI: case Opcode::LUI:
+    case Opcode::CVTFI: case Opcode::FEQ: case Opcode::FLT: case Opcode::FLE:
+    case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+    case Opcode::LW: case Opcode::LWU: case Opcode::LD:
+    case Opcode::JAL: case Opcode::JALR:
+    case Opcode::POPLDQ: case Opcode::POPSDQ:
+      return Commit::Int;
+    case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL: case Opcode::FDIV:
+    case Opcode::FSQRT: case Opcode::FMIN: case Opcode::FMAX: case Opcode::FNEG:
+    case Opcode::FABS: case Opcode::FMOV: case Opcode::CVTIF: case Opcode::FLD:
+    case Opcode::POPLDQF: case Opcode::POPSDQF:
+      return Commit::Fp;
+    default:
+      return Commit::None;
+  }
+}
+
+struct FusePair {
+  Opcode first;
+  Opcode second;
+  std::uint8_t kind;
+};
+
+constexpr FusePair kFusePairs[] = {
+    {Opcode::ADDI, Opcode::BNE, kFuseAddiBne},
+    {Opcode::ADDI, Opcode::ADDI, kFuseAddiAddi},
+    {Opcode::FMUL, Opcode::FADD, kFuseFmulFadd},
+    {Opcode::ADD, Opcode::LD, kFuseAddLd},
+    {Opcode::LD, Opcode::ADD, kFuseLdAdd},
+    {Opcode::MUL, Opcode::ADD, kFuseMulAdd},
+    {Opcode::SLLI, Opcode::ADD, kFuseSlliAdd},
+    {Opcode::LD, Opcode::ADDI, kFuseLdAddi},
+    {Opcode::LD, Opcode::BGE, kFuseLdBge},
+    {Opcode::SLT, Opcode::BNE, kFuseSltBne},
+    {Opcode::SLTI, Opcode::BNE, kFuseSltiBne},
+    {Opcode::SLTU, Opcode::BNE, kFuseSltuBne},
+    {Opcode::SLT, Opcode::BEQ, kFuseSltBeq},
+    {Opcode::SLTI, Opcode::BEQ, kFuseSltiBeq},
+};
+
+DecodedOp decode_one(const isa::Instruction& inst) {
+  DecodedOp d;
+  const auto raw = static_cast<std::uint16_t>(inst.op);
+  if (raw < static_cast<std::uint16_t>(Opcode::kCount)) {
+    d.kind = static_cast<std::uint8_t>(raw);
+  } else if (inst.op == Opcode::kCount) {
+    d.kind = kExecInvalid;
+  } else {
+    // Out-of-range opcode byte: the reference switch matches no case, which
+    // executes exactly like a NOP (no result, annotation pushes honoured).
+    d.kind = kExecNOP;
+  }
+  d.src1 = inst.src1.idx;
+  d.src2 = inst.src2.idx;
+  d.imm = inst.op == Opcode::LUI ? (inst.imm << 16) : inst.imm;
+  d.target = inst.target;
+  switch (commit_class(inst.op)) {
+    case Commit::Int:
+      d.dst = (inst.dst.is_int() && inst.dst.idx != 0) ? inst.dst.idx
+                                                       : kSinkReg;
+      break;
+    case Commit::Fp:
+      d.dst = inst.dst.is_fp() ? inst.dst.idx : kSinkReg;
+      break;
+    case Commit::None:
+      d.dst = kSinkReg;
+      break;
+  }
+  if (inst.ann.push_ldq) d.flags |= kFlagPushLdq;
+  if (inst.ann.push_sdq) d.flags |= kFlagPushSdq;
+  return d;
+}
+
+}  // namespace
+
+DecodedProgram decode_program(const isa::Program& prog, bool fuse) {
+  DecodedProgram out;
+  out.ops.reserve(prog.code.size());
+  for (const isa::Instruction& inst : prog.code)
+    out.ops.push_back(decode_one(inst));
+
+  if (fuse) {
+    // Rewrite the first slot of each matching fall-through pair.  Pairs may
+    // chain (slot i fuses with i+1 while i+1 independently fuses with i+2):
+    // the fused handler executes the second component from its own decoded
+    // fields, never from its possibly-rewritten kind, and a jump landing on
+    // i+1 simply runs that slot's own handler.
+    for (std::size_t i = 0; i + 1 < prog.code.size(); ++i) {
+      const Opcode a = prog.code[i].op;
+      const Opcode b = prog.code[i + 1].op;
+      for (const FusePair& p : kFusePairs) {
+        if (p.first == a && p.second == b) {
+          out.ops[i].kind = p.kind;
+          ++out.stats.fused_sites;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const DecodedOp& d : out.ops) ++out.stats.kind_count[d.kind];
+  return out;
+}
+
+const char* exec_kind_name(std::uint8_t kind) noexcept {
+  if (kind < static_cast<std::uint8_t>(Opcode::kCount))
+    return isa::op_info(static_cast<Opcode>(kind)).name.data();
+  switch (kind) {
+    case kExecInvalid: return "invalid";
+    case kFuseAddiAddi: return "fuse:addi+addi";
+    case kFuseAddiBne: return "fuse:addi+bne";
+    case kFuseFmulFadd: return "fuse:fmul+fadd";
+    case kFuseAddLd: return "fuse:add+ld";
+    case kFuseLdAdd: return "fuse:ld+add";
+    case kFuseMulAdd: return "fuse:mul+add";
+    case kFuseSlliAdd: return "fuse:slli+add";
+    case kFuseLdAddi: return "fuse:ld+addi";
+    case kFuseLdBge: return "fuse:ld+bge";
+    case kFuseSltBne: return "fuse:slt+bne";
+    case kFuseSltiBne: return "fuse:slti+bne";
+    case kFuseSltuBne: return "fuse:sltu+bne";
+    case kFuseSltBeq: return "fuse:slt+beq";
+    case kFuseSltiBeq: return "fuse:slti+beq";
+    default: return "?";
+  }
+}
+
+}  // namespace hidisc::sim

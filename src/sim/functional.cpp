@@ -1,8 +1,22 @@
+// Functional simulator driver and reference switch interpreter.
+//
+// run()/run_trace() execute through the threaded-code interpreter
+// (decoded.hpp + interp.cpp); step() below IS the original giant-switch
+// implementation, retained verbatim as the semantic reference oracle.  The
+// two must stay byte-identical: HIDISC_FSIM_REF=1 shadow-replays every
+// run()/run_trace() on a deep-copied snapshot through the reference path
+// and compares traces, register files, queues, and the memory digest
+// (docs/FUNCTIONAL.md).
+
 #include "sim/functional.hpp"
 
 #include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "sim/decoded.hpp"
 
 namespace hidisc::sim {
 
@@ -17,7 +31,90 @@ Functional::Functional(const isa::Program& prog) : prog_(prog) {
   pc_ = prog.entry;
 }
 
+bool Functional::ref_shadow_enabled() noexcept {
+  // Mirrors lockstep_verify_requested() in machine.cpp.
+  static const bool enabled = [] {
+    const char* v = std::getenv("HIDISC_FSIM_REF");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+  }();
+  return enabled;
+}
+
+void Functional::ensure_decoded() {
+  if (!decoded_)
+    decoded_ = std::make_shared<const DecodedProgram>(decode_program(prog_));
+}
+
+const DecodedProgram& Functional::decoded_program() {
+  ensure_decoded();
+  return *decoded_;
+}
+
+namespace {
+
+// Pre-size a trace buffer from the remaining step budget, capped so small
+// kernels with a huge budget only reserve lazily committed address space.
+std::size_t trace_reserve_hint(std::uint64_t max_steps, std::uint64_t done) {
+  const std::uint64_t remaining = max_steps > done ? max_steps - done : 0;
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining, Functional::kTraceReserveCap));
+}
+
+// Reserved-but-never-touched capacity is lazily committed address space, so
+// shrinking a pre-sized buffer pays a full copy (plus page faults on the new
+// allocation — measured at ~2× the entire emission cost) to release pages
+// that were never resident.  Only shrink when the buffer out-grew its
+// initial reserve: doubling growth leaves up to size/2 of *touched* slack,
+// and trace artifacts are retained in the pipeline memo for the whole run.
+void finish_trace(Trace& trace, std::size_t reserved) {
+  if (trace.capacity() > reserved) trace.shrink_to_fit();
+}
+
+}  // namespace
+
 void Functional::run(std::uint64_t max_steps) {
+  if (!ref_shadow_enabled()) {
+    exec_threaded<false>(max_steps, nullptr);
+    return;
+  }
+  Functional ref(*this);
+  bool ok = true;
+  std::string err;
+  try {
+    exec_threaded<false>(max_steps, nullptr);
+  } catch (const ExecError& e) {
+    ok = false;
+    err = e.what();
+  }
+  shadow_compare(ref, max_steps, nullptr, ok, err);
+  if (!ok) throw ExecError(err);
+}
+
+Trace Functional::run_trace(std::uint64_t max_steps) {
+  Trace trace;
+  const std::size_t reserved = trace_reserve_hint(max_steps, icount_);
+  trace.reserve(reserved);
+  if (!ref_shadow_enabled()) {
+    exec_threaded<true>(max_steps, &trace);
+    finish_trace(trace, reserved);
+    return trace;
+  }
+  Functional ref(*this);
+  bool ok = true;
+  std::string err;
+  try {
+    exec_threaded<true>(max_steps, &trace);
+  } catch (const ExecError& e) {
+    ok = false;
+    err = e.what();
+  }
+  shadow_compare(ref, max_steps, &trace, ok, err);
+  if (!ok) throw ExecError(err);
+  finish_trace(trace, reserved);
+  return trace;
+}
+
+void Functional::run_ref(std::uint64_t max_steps) {
   while (!halted_) {
     if (icount_ >= max_steps)
       throw ExecError("step budget exceeded (" + std::to_string(max_steps) +
@@ -26,8 +123,10 @@ void Functional::run(std::uint64_t max_steps) {
   }
 }
 
-Trace Functional::run_trace(std::uint64_t max_steps) {
+Trace Functional::run_trace_ref(std::uint64_t max_steps) {
   Trace trace;
+  const std::size_t reserved = trace_reserve_hint(max_steps, icount_);
+  trace.reserve(reserved);
   TraceEntry e;
   while (!halted_) {
     if (icount_ >= max_steps)
@@ -35,7 +134,67 @@ Trace Functional::run_trace(std::uint64_t max_steps) {
                       ")");
     if (step(&e)) trace.push_back(e);
   }
+  finish_trace(trace, reserved);
   return trace;
+}
+
+void Functional::shadow_compare(Functional& ref, std::uint64_t max_steps,
+                                const Trace* got_trace, bool got_ok,
+                                const std::string& got_err) {
+  bool want_ok = true;
+  std::string want_err;
+  Trace want;
+  try {
+    if (got_trace)
+      want = ref.run_trace_ref(max_steps);
+    else
+      ref.run_ref(max_steps);
+  } catch (const ExecError& e) {
+    want_ok = false;
+    want_err = e.what();
+  }
+  const auto die = [](const std::string& what) {
+    throw ExecError("HIDISC_FSIM_REF divergence: " + what);
+  };
+  if (got_ok != want_ok)
+    die(std::string("threaded ") + (got_ok ? "succeeded" : "failed") +
+        " but reference " + (want_ok ? "succeeded" : "failed") +
+        (got_ok ? " (\"" + want_err + "\")" : " (\"" + got_err + "\")"));
+  if (!got_ok && got_err != want_err)
+    die("error mismatch: threaded \"" + got_err + "\" vs reference \"" +
+        want_err + "\"");
+  if (got_trace) {
+    if (got_trace->size() != want.size())
+      die("trace length " + std::to_string(got_trace->size()) +
+          " vs reference " + std::to_string(want.size()));
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      const TraceEntry& g = (*got_trace)[i];
+      const TraceEntry& w = want[i];
+      if (g.static_idx != w.static_idx || g.next != w.next ||
+          g.addr != w.addr || g.value != w.value)
+        die("trace entry " + std::to_string(i) + " mismatch: got {" +
+            std::to_string(g.static_idx) + "," + std::to_string(g.next) +
+            "," + std::to_string(g.addr) + "," + std::to_string(g.value) +
+            "} want {" + std::to_string(w.static_idx) + "," +
+            std::to_string(w.next) + "," + std::to_string(w.addr) + "," +
+            std::to_string(w.value) + "}");
+    }
+  }
+  if (pc_ != ref.pc_)
+    die("pc " + std::to_string(pc_) + " vs " + std::to_string(ref.pc_));
+  if (icount_ != ref.icount_)
+    die("icount " + std::to_string(icount_) + " vs " +
+        std::to_string(ref.icount_));
+  if (halted_ != ref.halted_) die("halted flag mismatch");
+  if (iregs_ != ref.iregs_) die("int register file mismatch");
+  for (int i = 0; i < isa::kNumFpRegs; ++i)
+    if (std::bit_cast<std::uint64_t>(fregs_[i]) !=
+        std::bit_cast<std::uint64_t>(ref.fregs_[i]))
+      die("fp register f" + std::to_string(i) + " mismatch");
+  if (ldq_ != ref.ldq_) die("LDQ contents mismatch");
+  if (sdq_ != ref.sdq_) die("SDQ contents mismatch");
+  if (scq_tokens_ != ref.scq_tokens_) die("SCQ token count mismatch");
+  if (mem_.digest() != ref.mem_.digest()) die("memory digest mismatch");
 }
 
 Functional::QVal Functional::pop_queue(std::deque<QVal>& q,
@@ -140,13 +299,13 @@ bool Functional::step(TraceEntry* out) {
     case Opcode::SLTI: wr(rs1() < inst.imm ? 1 : 0); break;
     case Opcode::LUI: wr(inst.imm << 16); break;
 
-    case Opcode::FADD: wf(fs1() + fs2()); break;
-    case Opcode::FSUB: wf(fs1() - fs2()); break;
-    case Opcode::FMUL: wf(fs1() * fs2()); break;
-    case Opcode::FDIV: wf(fs1() / fs2()); break;
-    case Opcode::FSQRT: wf(std::sqrt(fs1())); break;
-    case Opcode::FMIN: wf(std::fmin(fs1(), fs2())); break;
-    case Opcode::FMAX: wf(std::fmax(fs1(), fs2())); break;
+    case Opcode::FADD: wf(canon_nan(fs1() + fs2())); break;
+    case Opcode::FSUB: wf(canon_nan(fs1() - fs2())); break;
+    case Opcode::FMUL: wf(canon_nan(fs1() * fs2())); break;
+    case Opcode::FDIV: wf(canon_nan(fs1() / fs2())); break;
+    case Opcode::FSQRT: wf(canon_nan(std::sqrt(fs1()))); break;
+    case Opcode::FMIN: wf(canon_nan(std::fmin(fs1(), fs2()))); break;
+    case Opcode::FMAX: wf(canon_nan(std::fmax(fs1(), fs2()))); break;
     case Opcode::FNEG: wf(-fs1()); break;
     case Opcode::FABS: wf(std::fabs(fs1())); break;
     case Opcode::FMOV: wf(fs1()); break;

@@ -7,11 +7,26 @@
 // FIFO contents, so both original and compiler-separated binaries execute
 // to the same architectural result — the invariant the integration tests
 // enforce.
+//
+// Two interpreters share this architectural state (docs/FUNCTIONAL.md):
+//
+//  * the threaded-code interpreter (decoded.hpp + interp.cpp) — the fast
+//    path behind run()/run_trace(): pre-decoded DecodedOp table,
+//    computed-goto dispatch, superinstruction fusion, batched trace
+//    emission into a pre-sized buffer;
+//  * the reference switch interpreter (step(), run_ref(), run_trace_ref())
+//    — the original giant-switch implementation, kept as the semantic
+//    oracle.  Setting HIDISC_FSIM_REF=1 (mirroring HIDISC_LOCKSTEP) makes
+//    every run()/run_trace() shadow-execute the reference interpreter on a
+//    snapshot and byte-compare traces and final state.
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -20,6 +35,23 @@
 #include "sim/memory.hpp"
 
 namespace hidisc::sim {
+
+struct DecodedProgram;
+
+// HISA FP semantics pin the one bit-level freedom IEEE 754 leaves open:
+// an arithmetic result that is NaN always commits as the canonical quiet
+// NaN (0x7ff8000000000000).  Hardware is looser — x86 propagates the
+// *first machine operand's* NaN payload, so a commutative add of two
+// NaNs can return either payload depending on how the compiler allocated
+// registers.  Left unpinned, trace bytes would depend on codegen context,
+// which is fatal for the dual-interpreter byte-identity invariant and
+// for trace caches shared across builds.  Both interpreters apply this
+// to every NaN-capable arithmetic op (FADD..FMAX); pure bit operations
+// (FNEG/FABS/FMOV, loads, queue moves) preserve payloads exactly and
+// are deterministic without it.
+inline double canon_nan(double v) {
+  return std::isnan(v) ? std::numeric_limits<double>::quiet_NaN() : v;
+}
 
 // One retired dynamic instruction.  24 bytes; a few million entries is the
 // expected scale for the DIS workloads.
@@ -42,7 +74,16 @@ class Functional {
   // benchmark looping forever) long before memory is exhausted.
   static constexpr std::uint64_t kDefaultMaxSteps = 200'000'000;
 
+  // Trace buffers are pre-sized from the step budget, capped here (8 Mi
+  // entries = 192 MiB) so small kernels with a large budget reserve lazily
+  // committed address space, not resident memory.
+  static constexpr std::uint64_t kTraceReserveCap = 1ull << 23;
+
   explicit Functional(const isa::Program& prog);
+
+  // Deep copy (memory pages cloned; the decoded table is shared).  Used by
+  // the HIDISC_FSIM_REF shadow oracle to snapshot state mid-flight.
+  Functional(const Functional&) = default;
 
   // Runs until HALT.  Throws ExecError on bad programs (queue underflow,
   // division by zero, step budget exceeded, pc out of range).
@@ -51,8 +92,27 @@ class Functional {
   // Runs until HALT while recording the dynamic trace.
   [[nodiscard]] Trace run_trace(std::uint64_t max_steps = kDefaultMaxSteps);
 
-  // Single step; returns false once halted.
+  // Reference-interpreter equivalents of run()/run_trace(): drive the
+  // original switch interpreter step by step.  Byte-identical behaviour to
+  // the threaded path is the hard invariant; the fuzz oracle's
+  // dual-interpreter leg and the HIDISC_FSIM_REF shadow both compare
+  // against these.
+  void run_ref(std::uint64_t max_steps = kDefaultMaxSteps);
+  [[nodiscard]] Trace run_trace_ref(
+      std::uint64_t max_steps = kDefaultMaxSteps);
+
+  // Single step of the reference switch interpreter; returns false once
+  // halted.  Interleaves freely with run()/run_trace(), which resume from
+  // whatever state it leaves.
   bool step(TraceEntry* out = nullptr);
+
+  // The lazily built threaded-code table for this program (decode stats,
+  // superinstruction sites).  Exposed for tests and diagnostics.
+  [[nodiscard]] const DecodedProgram& decoded_program();
+
+  // True when HIDISC_FSIM_REF is set: run()/run_trace() shadow-execute the
+  // reference interpreter and compare.
+  [[nodiscard]] static bool ref_shadow_enabled() noexcept;
 
   // Architectural state access ----------------------------------------------
   [[nodiscard]] std::int64_t reg(int idx) const { return iregs_[idx]; }
@@ -75,9 +135,26 @@ class Functional {
   struct QVal {
     enum class Tag : std::uint8_t { Int, Fp, Eod } tag = Tag::Int;
     std::int64_t bits = 0;
+
+    bool operator==(const QVal&) const = default;
   };
 
   [[nodiscard]] QVal pop_queue(std::deque<QVal>& q, const char* name);
+
+  void ensure_decoded();
+
+  // The threaded-code hot loop (interp.cpp).  Executes until HALT, budget
+  // exhaustion or an ExecError; when kEmit, appends one TraceEntry per
+  // retired instruction to *out.
+  template <bool kEmit>
+  void exec_threaded(std::uint64_t max_steps, Trace* out);
+
+  // Shadow-compare `*this` (already run) against `ref` (snapshot taken
+  // before running) after replaying the reference interpreter; throws
+  // ExecError on any divergence.
+  void shadow_compare(Functional& ref, std::uint64_t max_steps,
+                      const Trace* got_trace, bool got_ok,
+                      const std::string& got_err);
 
   const isa::Program& prog_;
   Memory mem_;
@@ -89,6 +166,7 @@ class Functional {
   std::int32_t pc_ = 0;
   bool halted_ = false;
   std::uint64_t icount_ = 0;
+  std::shared_ptr<const DecodedProgram> decoded_;
 };
 
 }  // namespace hidisc::sim

@@ -1,0 +1,37 @@
+# hifuzz-repro: v1
+# name: nan-canonical
+# expect: ok
+# note: every NaN-producing FP arithmetic shape, with both NaN operand
+# note: orders -- x86 propagates the first machine operand's payload, so
+# note: without canon_nan the trace bytes of fadd f, +qNaN, -qNaN depend
+# note: on register allocation and the two interpreters diverge
+# note: (campaign seed 4571229358325483140, sig fsim-div:original)
+
+.data
+buf: .space 64
+k:   .double 0.0, 1.0, -1.0
+.text
+_start:
+  la   r4, buf
+  la   r6, k
+  fld  f1, 0(r6)      # 0.0
+  fld  f2, 8(r6)      # 1.0
+  fld  f3, 16(r6)     # -1.0
+  fdiv f4, f1, f1     # 0/0 -> NaN
+  fneg f5, f4         # opposite-sign NaN (bit op, payload preserved)
+  fadd f6, f4, f5     # NaN+NaN, both operand orders
+  fadd f7, f5, f4
+  fmin f8, f4, f5
+  fmax f9, f5, f4
+  fsqrt f10, f3       # sqrt(-1) -> NaN
+  fdiv f11, f2, f1    # 1/0 -> +inf
+  fsub f12, f11, f11  # inf-inf -> NaN
+  fmul f13, f1, f11   # 0*inf -> NaN
+  fsd  f6, 0(r4)
+  fsd  f7, 8(r4)
+  fsd  f8, 16(r4)
+  fsd  f9, 24(r4)
+  fsd  f10, 32(r4)
+  fsd  f12, 40(r4)
+  fsd  f13, 48(r4)
+  halt

@@ -414,6 +414,12 @@ int main(int argc, char** argv) {
           n.compile.rebuilt, n.compile.total, n.compile.hits,
           n.trace.rebuilt, n.trace.total, n.trace.hits,
           n.sim.rebuilt, n.sim.total, n.sim.hits);
+      std::printf(
+          "phase wall time: compile %.0f ms (+%.0f ms cached), "
+          "trace %.0f ms (+%.0f ms cached), "
+          "sim %.0f ms (+%.0f ms cached)\n",
+          n.compile.ms_rebuilt, n.compile.ms_hits, n.trace.ms_rebuilt,
+          n.trace.ms_hits, n.sim.ms_rebuilt, n.sim.ms_hits);
     }
 
     const lab::ExportMeta meta{threads};
